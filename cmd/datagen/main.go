@@ -1,0 +1,107 @@
+// Command datagen writes the experimental datasets of Section 6.2 as CSV:
+// synthetic IN/CO/AC object sets, UN/CL query workloads, and the VEHICLE and
+// HOUSE real-world stand-ins.
+//
+// Usage:
+//
+//	datagen -kind in -n 100000 -d 10 > objects.csv
+//	datagen -kind cl -n 10000 -d 3 -kmax 50 > queries.csv
+//	datagen -kind vehicle > vehicle.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"iq/internal/dataset"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "in", "in|co|ac|un|cl|vehicle|house")
+		n        = flag.Int("n", 1000, "number of objects/queries")
+		d        = flag.Int("d", 3, "dimensionality (objects/queries)")
+		kmax     = flag.Int("kmax", 50, "max k for query kinds")
+		clusters = flag.Int("clusters", 5, "cluster count for cl")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	writeObjects := func(objs []vec.Vector, header []string) error {
+		if err := w.Write(append([]string{"id"}, header...)); err != nil {
+			return err
+		}
+		for i, o := range objs {
+			row := make([]string, 0, len(o)+1)
+			row = append(row, strconv.Itoa(i))
+			for _, x := range o {
+				row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+			}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeQueries := func(qs []topk.Query) error {
+		header := []string{"id", "k"}
+		for i := 0; i < *d; i++ {
+			header = append(header, fmt.Sprintf("w%d", i+1))
+		}
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		for _, q := range qs {
+			row := []string{strconv.Itoa(q.ID), strconv.Itoa(q.K)}
+			for _, x := range q.Point {
+				row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+			}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	genericHeader := func(d int) []string {
+		h := make([]string, d)
+		for i := range h {
+			h[i] = fmt.Sprintf("a%d", i+1)
+		}
+		return h
+	}
+
+	var err error
+	switch *kind {
+	case "in":
+		err = writeObjects(dataset.Objects(dataset.Independent, *n, *d, rng), genericHeader(*d))
+	case "co":
+		err = writeObjects(dataset.Objects(dataset.Correlated, *n, *d, rng), genericHeader(*d))
+	case "ac":
+		err = writeObjects(dataset.Objects(dataset.AntiCorrelated, *n, *d, rng), genericHeader(*d))
+	case "un":
+		err = writeQueries(dataset.UNQueries(*n, *d, *kmax, false, rng))
+	case "cl":
+		err = writeQueries(dataset.CLQueries(*n, *d, *kmax, *clusters, false, rng))
+	case "vehicle":
+		err = writeObjects(dataset.VehicleObjects(*n, rng), dataset.VehicleAttrNames)
+	case "house":
+		err = writeObjects(dataset.HouseObjects(*n, rng), dataset.HouseAttrNames)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	logger := log.New(os.Stderr, "iqserver ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(logger).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Fatal(err)
+	}
+}

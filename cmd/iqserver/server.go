@@ -1,0 +1,378 @@
+// Command iqserver exposes improvement queries as an HTTP JSON API — the
+// "analytic tool integrated with the DBMS" (Section 6.1) as a network
+// service. One server hosts one dataset/workload; clients load data, issue
+// Min-Cost and Max-Hit IQs, evaluate what-if strategies, and commit chosen
+// improvements.
+//
+// Endpoints:
+//
+//	POST /v1/load        {objects, queries}            -> {objects, queries}
+//	GET  /v1/stats                                     -> index statistics
+//	POST /v1/mincost     {target, tau, cost?, frozen?, workers?}
+//	POST /v1/maxhit      {target, budget, cost?, frozen?, workers?}
+//	POST /v1/evaluate    {target, strategy}            -> {hits}
+//	POST /v1/commit      {target, strategy}            -> {hits}
+//	POST /v1/objects     {attrs}                       -> {id}
+//	POST /v1/queries     {k, point}                    -> {index}
+//	POST /v1/topk        {k, point}                    -> {ids}
+//
+// Cost selectors: "l2" (default), "l1", {"weighted": [α...]}, or
+// {"expr": "sqrt(s1^2+...)"}.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"iq"
+)
+
+// server wraps a System with an HTTP handler and a mutex: reads share the
+// System safely, but loads/commits/inserts serialise.
+type server struct {
+	mu  sync.RWMutex
+	sys *iq.System
+	log *log.Logger
+}
+
+func newServer(logger *log.Logger) *server {
+	return &server{log: logger}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/load", s.handleLoad)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/mincost", s.handleMinCost)
+	mux.HandleFunc("POST /v1/maxhit", s.handleMaxHit)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/commit", s.handleCommit)
+	mux.HandleFunc("POST /v1/objects", s.handleAddObject)
+	mux.HandleFunc("POST /v1/queries", s.handleAddQuery)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	return mux
+}
+
+// --- wire types ---
+
+type queryWire struct {
+	ID    int       `json:"id"`
+	K     int       `json:"k"`
+	Point iq.Vector `json:"point"`
+}
+
+type loadRequest struct {
+	Objects []iq.Vector `json:"objects"`
+	Queries []queryWire `json:"queries"`
+}
+
+type costWire struct {
+	Name     string    `json:"name,omitempty"`     // "l2" | "l1"
+	Weighted iq.Vector `json:"weighted,omitempty"` // α per attribute
+	Expr     string    `json:"expr,omitempty"`     // over s1..sd
+}
+
+type iqRequest struct {
+	Target  int       `json:"target"`
+	Tau     int       `json:"tau,omitempty"`
+	Budget  float64   `json:"budget,omitempty"`
+	Cost    *costWire `json:"cost,omitempty"`
+	Frozen  []int     `json:"frozen,omitempty"`
+	Workers int       `json:"workers,omitempty"`
+}
+
+type iqResponse struct {
+	Strategy   iq.Vector `json:"strategy"`
+	Cost       float64   `json:"cost"`
+	Hits       int       `json:"hits"`
+	BaseHits   int       `json:"base_hits"`
+	Iterations int       `json:"iterations"`
+}
+
+type strategyRequest struct {
+	Target   int       `json:"target"`
+	Strategy iq.Vector `json:"strategy"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decode(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// statusFor maps library errors to HTTP codes.
+func statusFor(err error) int {
+	if errors.Is(err, iq.ErrGoalUnreachable) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+// --- handlers ---
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Objects) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no objects"))
+		return
+	}
+	queries := make([]iq.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = iq.Query{ID: q.ID, K: q.K, Point: q.Point}
+	}
+	sys, err := iq.NewLinear(req.Objects, queries)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.sys = sys
+	s.mu.Unlock()
+	s.log.Printf("loaded %d objects, %d queries", len(req.Objects), len(queries))
+	writeJSON(w, http.StatusOK, map[string]int{
+		"objects": sys.NumObjects(),
+		"queries": sys.NumQueries(),
+	})
+}
+
+// withSystem runs fn with the system under a read lock.
+func (s *server) withSystem(w http.ResponseWriter, fn func(*iq.System)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.sys == nil {
+		writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
+		return
+	}
+	fn(s.sys)
+}
+
+// withSystemExclusive runs fn with the system under the write lock.
+func (s *server) withSystemExclusive(w http.ResponseWriter, fn func(*iq.System)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sys == nil {
+		writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
+		return
+	}
+	fn(s.sys)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.withSystem(w, func(sys *iq.System) {
+		st := sys.IndexStats()
+		writeJSON(w, http.StatusOK, map[string]int{
+			"objects":    sys.NumObjects(),
+			"queries":    st.Queries,
+			"subdomains": st.Subdomains,
+			"candidates": st.Candidates,
+			"size_bytes": st.SizeBytes,
+		})
+	})
+}
+
+func (s *server) buildCost(sys *iq.System, cw *costWire) (iq.Cost, error) {
+	if cw == nil || (cw.Name == "" && cw.Weighted == nil && cw.Expr == "") {
+		return iq.L2Cost{}, nil
+	}
+	switch {
+	case cw.Expr != "":
+		d := len(sys.Attrs(0))
+		return iq.NewExprCost(cw.Expr, d)
+	case cw.Weighted != nil:
+		if len(cw.Weighted) != len(sys.Attrs(0)) {
+			return nil, fmt.Errorf("weighted cost needs %d weights", len(sys.Attrs(0)))
+		}
+		return iq.WeightedL2Cost{Alpha: cw.Weighted}, nil
+	case cw.Name == "l2":
+		return iq.L2Cost{}, nil
+	case cw.Name == "l1":
+		return iq.L1Cost{}, nil
+	default:
+		return nil, fmt.Errorf("unknown cost %q", cw.Name)
+	}
+}
+
+func (s *server) buildBounds(sys *iq.System, frozen []int) (*iq.Bounds, error) {
+	if len(frozen) == 0 {
+		return nil, nil
+	}
+	d := len(sys.Attrs(0))
+	for _, i := range frozen {
+		if i < 0 || i >= d {
+			return nil, fmt.Errorf("frozen attribute %d out of range", i)
+		}
+	}
+	return iq.Frozen(d, frozen...), nil
+}
+
+func (s *server) handleMinCost(w http.ResponseWriter, r *http.Request) {
+	var req iqRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystem(w, func(sys *iq.System) {
+		cost, err := s.buildCost(sys, req.Cost)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		bounds, err := s.buildBounds(sys, req.Frozen)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := sys.MinCost(iq.MinCostRequest{
+			Target: req.Target, Tau: req.Tau, Cost: cost, Bounds: bounds, Workers: req.Workers,
+		})
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, iqResponse{
+			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
+			BaseHits: res.BaseHits, Iterations: res.Iterations,
+		})
+	})
+}
+
+func (s *server) handleMaxHit(w http.ResponseWriter, r *http.Request) {
+	var req iqRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystem(w, func(sys *iq.System) {
+		cost, err := s.buildCost(sys, req.Cost)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		bounds, err := s.buildBounds(sys, req.Frozen)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := sys.MaxHit(iq.MaxHitRequest{
+			Target: req.Target, Budget: req.Budget, Cost: cost, Bounds: bounds, Workers: req.Workers,
+		})
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, iqResponse{
+			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
+			BaseHits: res.BaseHits, Iterations: res.Iterations,
+		})
+	})
+}
+
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req strategyRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystem(w, func(sys *iq.System) {
+		hits, err := sys.EvaluateStrategy(req.Target, req.Strategy)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
+	})
+}
+
+func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req strategyRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystemExclusive(w, func(sys *iq.System) {
+		if err := sys.Commit(req.Target, req.Strategy); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		hits, err := sys.Hits(req.Target)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.log.Printf("committed strategy for target %d", req.Target)
+		writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
+	})
+}
+
+func (s *server) handleAddObject(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Attrs iq.Vector `json:"attrs"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystemExclusive(w, func(sys *iq.System) {
+		id, err := sys.AddObject(req.Attrs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"id": id})
+	})
+}
+
+func (s *server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryWire
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystemExclusive(w, func(sys *iq.System) {
+		idx, err := sys.AddQuery(iq.Query{ID: req.ID, K: req.K, Point: req.Point})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"index": idx})
+	})
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req queryWire
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.withSystem(w, func(sys *iq.System) {
+		if req.K < 1 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be >= 1"))
+			return
+		}
+		ids := sys.Evaluate(iq.Query{K: req.K, Point: req.Point})
+		writeJSON(w, http.StatusOK, map[string][]int{"ids": ids})
+	})
+}

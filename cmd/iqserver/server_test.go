@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"iq"
+	"iq/internal/dataset"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	logger := log.New(io.Discard, "", 0)
+	ts := httptest.NewServer(newServer(logger).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func loadDataset(t *testing.T, ts *httptest.Server, n, m int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	objs := dataset.Objects(dataset.Independent, n, 3, rng)
+	queries := dataset.UNQueries(m, 3, 5, true, rng)
+	var req loadRequest
+	for _, o := range objs {
+		req.Objects = append(req.Objects, iq.Vector(o))
+	}
+	for _, q := range queries {
+		req.Queries = append(req.Queries, queryWire{ID: q.ID, K: q.K, Point: q.Point})
+	}
+	resp, body := post(t, ts.URL+"/v1/load", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestLoadAndStats(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 100, 40)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["objects"] != 100 || stats["queries"] != 40 || stats["subdomains"] == 0 {
+		t.Errorf("stats %v", stats)
+	}
+}
+
+func TestMinCostEndpoint(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 100, 40)
+	resp, body := post(t, ts.URL+"/v1/mincost", iqRequest{Target: 5, Tau: 6})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mincost: %d %s", resp.StatusCode, body)
+	}
+	var res iqResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 6 || len(res.Strategy) != 3 {
+		t.Errorf("result %+v", res)
+	}
+	// Evaluate the returned strategy: must reproduce the hit count.
+	resp, body = post(t, ts.URL+"/v1/evaluate", strategyRequest{Target: 5, Strategy: res.Strategy})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", resp.StatusCode, body)
+	}
+	var ev map[string]int
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["hits"] != res.Hits {
+		t.Errorf("evaluate %d vs mincost %d", ev["hits"], res.Hits)
+	}
+	// Commit and confirm.
+	resp, body = post(t, ts.URL+"/v1/commit", strategyRequest{Target: 5, Strategy: res.Strategy})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestMaxHitWithOptions(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 80, 30)
+	req := iqRequest{
+		Target:  2,
+		Budget:  0.5,
+		Cost:    &costWire{Weighted: iq.Vector{1, 2, 3}},
+		Frozen:  []int{0},
+		Workers: 3,
+	}
+	resp, body := post(t, ts.URL+"/v1/maxhit", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maxhit: %d %s", resp.StatusCode, body)
+	}
+	var res iqResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy[0] != 0 {
+		t.Errorf("frozen attribute moved: %v", res.Strategy)
+	}
+	if res.Cost > 0.5+1e-9 {
+		t.Errorf("over budget: %v", res.Cost)
+	}
+	// Expression cost variant.
+	req.Cost = &costWire{Expr: "sqrt(s1^2 + s2^2 + s3^2)"}
+	resp, body = post(t, ts.URL+"/v1/maxhit", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maxhit expr: %d %s", resp.StatusCode, body)
+	}
+	// L1 variant.
+	req.Cost = &costWire{Name: "l1"}
+	resp, _ = post(t, ts.URL+"/v1/maxhit", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("maxhit l1 failed")
+	}
+}
+
+func TestMutationEndpoints(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 50, 20)
+	resp, body := post(t, ts.URL+"/v1/objects", map[string]iq.Vector{"attrs": {0.1, 0.1, 0.1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add object: %d %s", resp.StatusCode, body)
+	}
+	var idResp map[string]int
+	json.Unmarshal(body, &idResp)
+	if idResp["id"] != 50 {
+		t.Errorf("id=%d", idResp["id"])
+	}
+	resp, body = post(t, ts.URL+"/v1/queries", queryWire{ID: 99, K: 2, Point: iq.Vector{0.3, 0.3, 0.4}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add query: %d %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/topk", queryWire{K: 3, Point: iq.Vector{0.5, 0.3, 0.2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk: %d %s", resp.StatusCode, body)
+	}
+	var topkResp map[string][]int
+	json.Unmarshal(body, &topkResp)
+	if len(topkResp["ids"]) != 3 {
+		t.Errorf("topk ids %v", topkResp["ids"])
+	}
+	// The freshly added near-dominant object must rank among the top 3.
+	found := false
+	for _, id := range topkResp["ids"] {
+		if id == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected new object in top-3: %v", topkResp["ids"])
+	}
+}
+
+func TestErrorHandling(t *testing.T) {
+	ts := testServer(t)
+	// No dataset yet.
+	resp, _ := post(t, ts.URL+"/v1/mincost", iqRequest{Target: 0, Tau: 1})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("no-dataset status %d", resp.StatusCode)
+	}
+	loadDataset(t, ts, 30, 10)
+	// Unreachable tau.
+	resp, _ = post(t, ts.URL+"/v1/mincost", iqRequest{Target: 0, Tau: 999})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unreachable status %d", resp.StatusCode)
+	}
+	// Bad JSON.
+	r, err := http.Post(ts.URL+"/v1/mincost", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status %d", r.StatusCode)
+	}
+	// Unknown field rejected.
+	r, err = http.Post(ts.URL+"/v1/mincost", "application/json",
+		bytes.NewReader([]byte(`{"target":0,"tau":1,"bogus":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d", r.StatusCode)
+	}
+	// Bad cost name.
+	resp, _ = post(t, ts.URL+"/v1/mincost", iqRequest{Target: 0, Tau: 1, Cost: &costWire{Name: "bogus"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cost status %d", resp.StatusCode)
+	}
+	// Bad frozen index.
+	resp, _ = post(t, ts.URL+"/v1/mincost", iqRequest{Target: 0, Tau: 1, Frozen: []int{99}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad frozen status %d", resp.StatusCode)
+	}
+	// Empty load.
+	resp, _ = post(t, ts.URL+"/v1/load", loadRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty load status %d", resp.StatusCode)
+	}
+	// k < 1 on topk.
+	resp, _ = post(t, ts.URL+"/v1/topk", queryWire{K: 0, Point: iq.Vector{1, 1, 1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("topk k=0 status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 80, 30)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, `{"target":%d,"tau":4}`, g)
+			resp, err := http.Post(ts.URL+"/v1/mincost", "application/json", &buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				done <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

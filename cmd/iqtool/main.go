@@ -1,0 +1,12 @@
+package main
+
+import (
+	"flag"
+	"os"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for generated workloads")
+	flag.Parse()
+	run(os.Stdin, os.Stdout, *seed)
+}

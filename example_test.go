@@ -1,0 +1,72 @@
+package iq_test
+
+import (
+	"fmt"
+
+	"iq"
+)
+
+// The paper's Figure 1 scenario: two cameras, two customers, and the
+// question "what is the cheapest improvement that wins both?".
+func ExampleSystem_MinCost() {
+	objects := []iq.Vector{
+		{0.67, 0.75, 0.25}, // our camera (scores: lower is better)
+		{0.60, 0.50, 0.34}, // the competitor
+	}
+	queries := []iq.Query{
+		{ID: 1, K: 1, Point: iq.Vector{0.55, 0.35, 0.10}},
+		{ID: 2, K: 1, Point: iq.Vector{0.25, 0.60, 0.15}},
+	}
+	sys, err := iq.NewLinear(objects, queries)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.MinCost(iq.MinCostRequest{Target: 0, Tau: 2, Cost: iq.L2Cost{}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hits:", res.Hits)
+	// Output:
+	// hits: 2
+}
+
+// A budget-constrained improvement: how many customers can 0.7 buy?
+func ExampleSystem_MaxHit() {
+	objects := []iq.Vector{
+		{0.67, 0.75, 0.25},
+		{0.60, 0.50, 0.34},
+		{0.33, 0.00, 0.60},
+	}
+	queries := []iq.Query{
+		{ID: 1, K: 1, Point: iq.Vector{0.55, 0.35, 0.10}},
+		{ID: 2, K: 1, Point: iq.Vector{0.25, 0.60, 0.15}},
+	}
+	sys, err := iq.NewLinear(objects, queries)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.MaxHit(iq.MaxHitRequest{Target: 0, Budget: 0.7, Cost: iq.L2Cost{}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("within budget:", res.Cost <= 0.7)
+	fmt.Println("hits at least one:", res.Hits >= 1)
+	// Output:
+	// within budget: true
+	// hits at least one: true
+}
+
+// Non-linear utilities are linearised by variable substitution: each
+// attribute term becomes an augmented attribute (Section 5.2 of the paper).
+func ExampleNewExprSpace() {
+	space, err := iq.NewExprSpace(
+		"w1 * sqrt(price) + w2 * (capacity / mpg)",
+		[]string{"price", "mpg", "capacity"},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("query dimensions:", space.QueryDim())
+	// Output:
+	// query dimensions: 2
+}

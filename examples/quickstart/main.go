@@ -1,0 +1,85 @@
+// Quickstart: the camera example from the paper's introduction (Figure 1).
+//
+// A small camera catalogue is scored by two customers' preference functions;
+// camera p1 loses both. A Min-Cost improvement query finds the cheapest
+// adjustment of p1's resolution/storage/price that wins a desired number of
+// customers, and a Max-Hit query finds the best adjustment a fixed
+// engineering budget can buy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iq"
+)
+
+func main() {
+	// Attributes: resolution score, storage score, price score — all
+	// normalised so that LOWER IS BETTER (e.g. price score = price/1000,
+	// resolution score = 1 − megapixels/30). The paper's utility
+	// "5·resolution + 3.5·storage − 0.05·price" becomes a weighted sum of
+	// these scores.
+	objects := []iq.Vector{
+		{0.67, 0.75, 0.25}, // p0: 10 MP, 2 GB, $250  (the paper's p1)
+		{0.60, 0.50, 0.34}, // p1: 12 MP, 4 GB, $340  (the paper's p2)
+		{0.33, 0.00, 0.60}, // p2: 20 MP, 8 GB, $600
+		{0.73, 0.88, 0.15}, // p3:  8 MP, 1 GB, $150
+	}
+
+	// Two customers, each a top-1 query: weights express how much each
+	// attribute matters to them.
+	queries := []iq.Query{
+		{ID: 1, K: 1, Point: iq.Vector{0.55, 0.35, 0.10}}, // values resolution
+		{ID: 2, K: 1, Point: iq.Vector{0.25, 0.60, 0.15}}, // values storage
+	}
+
+	sys, err := iq.NewLinear(objects, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	target := 0
+	hits, err := sys.Hits(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("camera p%d currently wins %d of %d customers\n", target, hits, sys.NumQueries())
+
+	// Min-Cost: the cheapest improvement that wins both customers.
+	res, err := sys.MinCost(iq.MinCostRequest{
+		Target: target,
+		Tau:    2,
+		Cost:   iq.L2Cost{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMin-Cost IQ (win both customers):\n")
+	fmt.Printf("  adjust (resolution, storage, price) scores by %v\n", res.Strategy)
+	fmt.Printf("  cost %.4f → now wins %d customers\n", res.Cost, res.Hits)
+
+	// Max-Hit: what does a budget of 0.7 buy?
+	mh, err := sys.MaxHit(iq.MaxHitRequest{
+		Target: target,
+		Budget: 0.7,
+		Cost:   iq.L2Cost{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMax-Hit IQ (budget 0.70):\n")
+	fmt.Printf("  adjust scores by %v\n", mh.Strategy)
+	fmt.Printf("  cost %.4f → wins %d customers (was %d)\n", mh.Cost, mh.Hits, mh.BaseHits)
+
+	// What-if evaluation without committing: the paper's s = {5, 2, −50}
+	// in score space (better resolution, more storage, lower price).
+	s := iq.Vector{-0.65, -0.55, -0.15}
+	h, err := sys.EvaluateStrategy(target, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWhat-if s=%v: p%d would win %d customers\n", s, target, h)
+}

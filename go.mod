@@ -1,0 +1,3 @@
+module iq
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package baseline implements the comparison schemes of the paper's
+// experiments (Section 6.1):
+//
+//   - RatioSearch: the same greedy best-cost-per-hit strategy search as
+//     Efficient-IQ, but with a pluggable hit evaluator — plugging in the RTA
+//     evaluator yields the paper's "RTA-IQ" scheme, plugging in brute force
+//     yields a naive reference.
+//   - Greedy: the "simple greedy" scheme — always take the single cheapest
+//     step that hits one more query, with no ratio reasoning.
+//   - Random: generate random strategies until the goal is met (or an
+//     attempt budget runs out) and return the best found.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iq/internal/core"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// HitCounter abstracts "how many queries does this object hit" so the same
+// search can run on ESE, RTA, or brute force.
+type HitCounter interface {
+	Hits(attrs vec.Vector, id int) (int, error)
+	HitSet(attrs vec.Vector, id int) (map[int]bool, error)
+}
+
+// BruteForce counts hits by re-evaluating every query.
+type BruteForce struct{ W *topk.Workload }
+
+// Hits implements HitCounter.
+func (b BruteForce) Hits(attrs vec.Vector, id int) (int, error) {
+	return b.W.HitsExact(attrs, id)
+}
+
+// HitSet implements HitCounter.
+func (b BruteForce) HitSet(attrs vec.Vector, id int) (map[int]bool, error) {
+	list, err := b.W.HitSet(attrs, id)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]bool, len(list))
+	for _, j := range list {
+		out[j] = true
+	}
+	return out, nil
+}
+
+// ErrGoalUnreachable mirrors core's error for the baseline searches.
+var ErrGoalUnreachable = errors.New("baseline: improvement goal unreachable")
+
+// Request carries the shared inputs of the baseline searches.
+type Request struct {
+	W      *topk.Workload
+	Target int
+	Cost   core.Cost
+	// Tau is the Min-Cost goal; Budget the Max-Hit budget. Exactly one of
+	// MinCost/MaxHit entry points reads each.
+	Tau    int
+	Budget float64
+}
+
+// Result mirrors core.Result for the baselines.
+type Result struct {
+	Strategy    vec.Vector
+	Cost        float64
+	Hits        int
+	Evaluations int
+}
+
+// CostPerHit is the unified quality metric.
+func (r *Result) CostPerHit() float64 {
+	if r.Hits == 0 {
+		return math.Inf(1)
+	}
+	return r.Cost / float64(r.Hits)
+}
+
+// hitThresholdBrute computes the k-th competitor score at query j by full
+// scan (the baselines do not use the subdomain index).
+func hitThresholdBrute(w *topk.Workload, target, j int) (float64, bool) {
+	q := w.Query(j)
+	others := make([]int, 0, w.NumObjects()-1)
+	for i := 0; i < w.NumObjects(); i++ {
+		if i != target && !w.IsRemoved(i) {
+			others = append(others, i)
+		}
+	}
+	res := w.EvaluateAmong(others, q)
+	if len(res.Ordered) < q.K {
+		return 0, false
+	}
+	return res.KthScore, true
+}
+
+// minStepToHit computes the cheapest incremental step from the current
+// cumulative strategy that makes the target hit query j (linear spaces).
+func minStepToHit(w *topk.Workload, target int, cur vec.Vector, j int, cost core.Cost) (vec.Vector, error) {
+	if !w.Space().Linear() {
+		return nil, fmt.Errorf("baseline: linear utility functions only")
+	}
+	threshold, bounded := hitThresholdBrute(w, target, j)
+	if !bounded {
+		return vec.Clone(cur), nil
+	}
+	q := w.Query(j).Point
+	coeffCur := vec.Add(w.Coeff(target), cur)
+	margin := 1e-9 * (1 + math.Abs(threshold))
+	rhs := threshold - vec.Dot(coeffCur, q) - margin
+	delta, err := cost.MinToHalfspace(q, rhs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return vec.Add(cur, delta), nil
+}
+
+// RatioSearchMinCost runs the Efficient-IQ strategy search (Algorithm 3)
+// with the supplied hit counter — this is "RTA-IQ" when counter wraps RTA.
+func RatioSearchMinCost(req Request, counter HitCounter) (*Result, error) {
+	w := req.W
+	if req.Tau > w.NumQueries() {
+		return nil, fmt.Errorf("baseline: tau %d exceeds query count: %w", req.Tau, ErrGoalUnreachable)
+	}
+	base := w.Attrs(req.Target)
+	d := len(base)
+	cur := vec.New(d)
+	res := &Result{Strategy: vec.New(d)}
+	hit, err := counter.HitSet(base, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	curHits := len(hit)
+	res.Hits = curHits
+	guard := 0
+	for curHits < req.Tau {
+		guard++
+		if guard > w.NumQueries()+req.Tau+8 {
+			return res, ErrGoalUnreachable
+		}
+		type cand struct {
+			u    vec.Vector
+			cost float64
+			hits int
+		}
+		var cands []cand
+		for j := 0; j < w.NumQueries(); j++ {
+			if hit[j] {
+				continue
+			}
+			u, err := minStepToHit(w, req.Target, cur, j, req.Cost)
+			if err != nil {
+				continue
+			}
+			h, err := counter.Hits(vec.Add(base, u), req.Target)
+			if err != nil {
+				continue
+			}
+			res.Evaluations++
+			if h <= curHits {
+				continue
+			}
+			cands = append(cands, cand{u: u, cost: req.Cost.Of(u), hits: h})
+		}
+		if len(cands) == 0 {
+			return res, ErrGoalUnreachable
+		}
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.cost/float64(c.hits) < best.cost/float64(best.hits) {
+				best = c
+			}
+		}
+		// Anti-overshoot, exactly as Algorithm 3 lines 10–13 (RTA-IQ runs
+		// the same search): when the ratio-best overshoots τ, take the
+		// cheapest candidate that reaches it.
+		if best.hits > req.Tau {
+			cheapest, found := best, false
+			for _, c := range cands {
+				if c.hits >= req.Tau && (!found || c.cost < cheapest.cost) {
+					cheapest, found = c, true
+				}
+			}
+			if found {
+				best = cheapest
+			}
+		}
+		cur = best.u
+		curHits = best.hits
+		hit, err = counter.HitSet(vec.Add(base, cur), req.Target)
+		if err != nil {
+			return res, err
+		}
+		res.Strategy = vec.Clone(cur)
+		res.Cost = req.Cost.Of(cur)
+		res.Hits = curHits
+	}
+	return res, nil
+}
+
+// RatioSearchMaxHit runs the Algorithm 4 analogue with a pluggable counter.
+func RatioSearchMaxHit(req Request, counter HitCounter) (*Result, error) {
+	w := req.W
+	base := w.Attrs(req.Target)
+	d := len(base)
+	cur := vec.New(d)
+	res := &Result{Strategy: vec.New(d)}
+	hit, err := counter.HitSet(base, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	curHits := len(hit)
+	res.Hits = curHits
+	guard := 0
+	for {
+		guard++
+		if guard > w.NumQueries()+8 {
+			break
+		}
+		var bestU vec.Vector
+		bestCost, bestHits := 0.0, curHits
+		bestRatio := math.Inf(1)
+		for j := 0; j < w.NumQueries(); j++ {
+			if hit[j] {
+				continue
+			}
+			u, err := minStepToHit(w, req.Target, cur, j, req.Cost)
+			if err != nil {
+				continue
+			}
+			c := req.Cost.Of(u)
+			if c > req.Budget {
+				continue
+			}
+			h, err := counter.Hits(vec.Add(base, u), req.Target)
+			if err != nil {
+				continue
+			}
+			res.Evaluations++
+			if h <= curHits {
+				continue
+			}
+			if ratio := c / float64(h); ratio < bestRatio {
+				bestU, bestCost, bestHits, bestRatio = u, c, h, ratio
+			}
+		}
+		if bestU == nil {
+			break
+		}
+		cur = bestU
+		curHits = bestHits
+		hit, err = counter.HitSet(vec.Add(base, cur), req.Target)
+		if err != nil {
+			return res, err
+		}
+		res.Strategy = vec.Clone(cur)
+		res.Cost = bestCost
+		res.Hits = curHits
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iq/internal/core"
+	"iq/internal/rta"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+func randVec(rng *rand.Rand, d int) vec.Vector {
+	v := make(vec.Vector, d)
+	for i := range v {
+		v[i] = 0.05 + 0.95*rng.Float64()
+	}
+	return v
+}
+
+func fixture(t *testing.T, rng *rand.Rand, n, m, d, maxK int) *topk.Workload {
+	t.Helper()
+	attrs := make([]vec.Vector, n)
+	for i := range attrs {
+		attrs[i] = randVec(rng, d)
+	}
+	queries := make([]topk.Query, m)
+	for j := range queries {
+		queries[j] = topk.Query{ID: j, K: 1 + rng.Intn(maxK), Point: randVec(rng, d)}
+	}
+	w, err := topk.NewWorkload(topk.LinearSpace{D: d}, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRatioSearchMinCostWithRTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := fixture(t, rng, 60, 40, 3, 3)
+	counter, err := rta.New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{W: w, Target: 0, Cost: core.L2Cost{}, Tau: 8}
+	res, err := RatioSearchMinCost(req, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 8 {
+		t.Errorf("hits=%d", res.Hits)
+	}
+	truth, _ := w.HitsExact(vec.Add(w.Attrs(0), res.Strategy), 0)
+	if truth != res.Hits {
+		t.Errorf("reported %d true %d", res.Hits, truth)
+	}
+}
+
+func TestRatioSearchMatchesBruteForceCounter(t *testing.T) {
+	// RTA and brute force must produce identical search results — same
+	// strategy search, different evaluators (the paper's point).
+	rng := rand.New(rand.NewSource(2))
+	w := fixture(t, rng, 50, 30, 3, 3)
+	counter1, _ := rta.New(w)
+	counter2 := BruteForce{W: w}
+	req := Request{W: w, Target: 1, Cost: core.L2Cost{}, Tau: 6}
+	r1, err1 := RatioSearchMinCost(req, counter1)
+	r2, err2 := RatioSearchMinCost(req, counter2)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if !vec.ApproxEqual(r1.Strategy, r2.Strategy, 1e-9) {
+		t.Errorf("strategies diverge: %v vs %v", r1.Strategy, r2.Strategy)
+	}
+}
+
+func TestRatioSearchMaxHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := fixture(t, rng, 60, 40, 3, 3)
+	counter := BruteForce{W: w}
+	req := Request{W: w, Target: 2, Cost: core.L2Cost{}, Budget: 0.8}
+	res, err := RatioSearchMaxHit(req, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 0.8+1e-9 {
+		t.Errorf("cost %v over budget", res.Cost)
+	}
+	truth, _ := w.HitsExact(vec.Add(w.Attrs(2), res.Strategy), 2)
+	if truth != res.Hits {
+		t.Errorf("reported %d true %d", res.Hits, truth)
+	}
+}
+
+func TestGreedyMinCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := fixture(t, rng, 50, 30, 3, 3)
+	counter := BruteForce{W: w}
+	req := Request{W: w, Target: 0, Cost: core.L2Cost{}, Tau: 6}
+	res, err := GreedyMinCost(req, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 6 {
+		t.Errorf("hits=%d", res.Hits)
+	}
+	// Greedy should not beat the ratio search by much — and usually loses.
+	ratio, err := RatioSearchMinCost(req, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio.CostPerHit() > res.CostPerHit()*3 {
+		t.Errorf("ratio search (%v/hit) much worse than simple greedy (%v/hit)",
+			ratio.CostPerHit(), res.CostPerHit())
+	}
+}
+
+func TestGreedyMaxHitBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := fixture(t, rng, 50, 30, 3, 3)
+	counter := BruteForce{W: w}
+	res, err := GreedyMaxHit(Request{W: w, Target: 1, Cost: core.L2Cost{}, Budget: 0.5}, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 0.5+1e-9 {
+		t.Errorf("over budget: %v", res.Cost)
+	}
+}
+
+func TestRandomSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := fixture(t, rng, 40, 25, 3, 3)
+	counter := BruteForce{W: w}
+	req := Request{W: w, Target: 0, Cost: core.L2Cost{}, Tau: 3}
+	res, err := RandomMinCost(req, counter, rng, 500)
+	if err != nil {
+		t.Fatalf("random min-cost found nothing in 500 attempts: %v", err)
+	}
+	if res.Hits < 3 {
+		t.Errorf("hits=%d", res.Hits)
+	}
+	mh, err := RandomMaxHit(Request{W: w, Target: 0, Cost: core.L2Cost{}, Budget: 0.6}, counter, rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Cost > 0.6+1e-9 {
+		t.Errorf("random max-hit over budget: %v", mh.Cost)
+	}
+}
+
+func TestRandomUnreachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := fixture(t, rng, 20, 10, 2, 2)
+	counter := BruteForce{W: w}
+	if _, err := RandomMinCost(Request{W: w, Target: 0, Cost: core.L2Cost{}, Tau: 99}, counter, rng, 10); !errors.Is(err, ErrGoalUnreachable) {
+		t.Errorf("err=%v", err)
+	}
+	if _, err := RatioSearchMinCost(Request{W: w, Target: 0, Cost: core.L2Cost{}, Tau: 99}, counter); !errors.Is(err, ErrGoalUnreachable) {
+		t.Errorf("err=%v", err)
+	}
+	if _, err := GreedyMinCost(Request{W: w, Target: 0, Cost: core.L2Cost{}, Tau: 99}, counter); !errors.Is(err, ErrGoalUnreachable) {
+		t.Errorf("err=%v", err)
+	}
+}
+
+func TestQualityOrdering(t *testing.T) {
+	// The paper's headline result: ratio search quality ≥ simple greedy ≥
+	// random (in cost per hit; lower is better). Averaged over several
+	// trials to smooth randomness.
+	rng := rand.New(rand.NewSource(8))
+	var ratioSum, greedySum, randomSum float64
+	trials := 5
+	for i := 0; i < trials; i++ {
+		w := fixture(t, rng, 60, 30, 3, 3)
+		counter := BruteForce{W: w}
+		req := Request{W: w, Target: i, Cost: core.L2Cost{}, Tau: 6}
+		r1, err := RatioSearchMinCost(req, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := GreedyMinCost(req, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3, err := RandomMinCost(req, counter, rng, 400)
+		if err != nil {
+			continue // random may fail to find; skip trial
+		}
+		ratioSum += r1.CostPerHit()
+		greedySum += r2.CostPerHit()
+		randomSum += r3.CostPerHit()
+	}
+	if ratioSum > randomSum {
+		t.Errorf("ratio search (%v) worse than random (%v) on average", ratioSum, randomSum)
+	}
+	t.Logf("avg cost/hit: ratio=%.4f greedy=%.4f random=%.4f",
+		ratioSum/float64(trials), greedySum/float64(trials), randomSum/float64(trials))
+}

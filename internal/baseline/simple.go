@@ -1,0 +1,206 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"iq/internal/vec"
+)
+
+// GreedyMinCost is the paper's "simple greedy" comparison scheme for
+// Min-Cost IQs: repeatedly take the single cheapest step that hits one more
+// query (no cost-per-hit reasoning), until τ queries are hit.
+func GreedyMinCost(req Request, counter HitCounter) (*Result, error) {
+	w := req.W
+	if req.Tau > w.NumQueries() {
+		return nil, ErrGoalUnreachable
+	}
+	base := w.Attrs(req.Target)
+	cur := vec.New(len(base))
+	res := &Result{Strategy: vec.New(len(base))}
+	hit, err := counter.HitSet(base, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	guard := 0
+	for len(hit) < req.Tau {
+		guard++
+		if guard > w.NumQueries()+req.Tau+8 {
+			return res, ErrGoalUnreachable
+		}
+		// Cheapest unhit query step, measured by incremental cost.
+		var bestU vec.Vector
+		bestInc := math.Inf(1)
+		curCost := req.Cost.Of(cur)
+		for j := 0; j < w.NumQueries(); j++ {
+			if hit[j] {
+				continue
+			}
+			u, err := minStepToHit(w, req.Target, cur, j, req.Cost)
+			if err != nil {
+				continue
+			}
+			if inc := req.Cost.Of(u) - curCost; inc < bestInc {
+				bestInc, bestU = inc, u
+			}
+		}
+		if bestU == nil {
+			return res, ErrGoalUnreachable
+		}
+		cur = bestU
+		res.Evaluations++
+		hit, err = counter.HitSet(vec.Add(base, cur), req.Target)
+		if err != nil {
+			return res, err
+		}
+		res.Strategy = vec.Clone(cur)
+		res.Cost = req.Cost.Of(cur)
+		res.Hits = len(hit)
+	}
+	return res, nil
+}
+
+// GreedyMaxHit is the simple greedy scheme under a budget: keep taking the
+// cheapest hit-gaining step while it fits.
+func GreedyMaxHit(req Request, counter HitCounter) (*Result, error) {
+	w := req.W
+	base := w.Attrs(req.Target)
+	cur := vec.New(len(base))
+	res := &Result{Strategy: vec.New(len(base))}
+	hit, err := counter.HitSet(base, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	res.Hits = len(hit)
+	guard := 0
+	for {
+		guard++
+		if guard > w.NumQueries()+8 {
+			break
+		}
+		var bestU vec.Vector
+		bestCost := math.Inf(1)
+		for j := 0; j < w.NumQueries(); j++ {
+			if hit[j] {
+				continue
+			}
+			u, err := minStepToHit(w, req.Target, cur, j, req.Cost)
+			if err != nil {
+				continue
+			}
+			if c := req.Cost.Of(u); c <= req.Budget && c < bestCost {
+				bestCost, bestU = c, u
+			}
+		}
+		if bestU == nil {
+			break
+		}
+		newHit, err := counter.HitSet(vec.Add(base, bestU), req.Target)
+		if err != nil {
+			return res, err
+		}
+		res.Evaluations++
+		if len(newHit) <= len(hit) {
+			break // cheapest step gains nothing; simple greedy stops
+		}
+		cur = bestU
+		hit = newHit
+		res.Strategy = vec.Clone(cur)
+		res.Cost = req.Cost.Of(cur)
+		res.Hits = len(hit)
+	}
+	return res, nil
+}
+
+// RandomMinCost is the paper's "Random" scheme: generate random improvement
+// strategies until one satisfies the goal and return it as-is (Section 6.1
+// — no cost minimisation). Sampling starts with small symmetric
+// perturbations and grows the scale on failure, so the first satisfier is a
+// wasteful, undirected move — which is exactly why the paper reports Random
+// with the worst strategy quality.
+func RandomMinCost(req Request, counter HitCounter, rng *rand.Rand, attempts int) (*Result, error) {
+	w := req.W
+	if req.Tau > w.NumQueries() {
+		return nil, ErrGoalUnreachable
+	}
+	base := w.Attrs(req.Target)
+	d := len(base)
+	res := &Result{Strategy: vec.New(d)}
+	scale := 0.05 * attributeScale(w, req.Target)
+	for a := 0; a < attempts; a++ {
+		s := make(vec.Vector, d)
+		for i := range s {
+			s[i] = (rng.Float64()*2 - 1) * scale
+		}
+		h, err := counter.Hits(vec.Add(base, s), req.Target)
+		if err != nil {
+			continue
+		}
+		res.Evaluations++
+		if h >= req.Tau {
+			res.Strategy = vec.Clone(s)
+			res.Cost = req.Cost.Of(s)
+			res.Hits = h
+			return res, nil
+		}
+		scale *= 1.25 // widen the search on failure
+	}
+	res.Hits, _ = counter.Hits(base, req.Target)
+	return res, ErrGoalUnreachable
+}
+
+// RandomMaxHit samples random directions scaled to random fractions of the
+// budget and returns the first strategy that improves on the unimproved hit
+// count ("total cost less than the budget" is the paper's only acceptance
+// criterion); when nothing improves within the attempt budget, the best
+// sample seen is returned.
+func RandomMaxHit(req Request, counter HitCounter, rng *rand.Rand, attempts int) (*Result, error) {
+	w := req.W
+	base := w.Attrs(req.Target)
+	d := len(base)
+	res := &Result{Strategy: vec.New(d)}
+	baseHits, _ := counter.Hits(base, req.Target)
+	res.Hits = baseHits
+	for a := 0; a < attempts; a++ {
+		s := make(vec.Vector, d)
+		for i := range s {
+			s[i] = rng.Float64()*2 - 1
+		}
+		c := req.Cost.Of(s)
+		if c > 0 {
+			// Spend a random fraction of the budget on this direction.
+			vec.ScaleInPlace(s, req.Budget*rng.Float64()/c)
+			c = req.Cost.Of(s)
+		}
+		if c > req.Budget {
+			continue
+		}
+		h, err := counter.Hits(vec.Add(base, s), req.Target)
+		if err != nil {
+			continue
+		}
+		res.Evaluations++
+		if h > baseHits {
+			res.Strategy = vec.Clone(s)
+			res.Cost = c
+			res.Hits = h
+			return res, nil
+		}
+		if h > res.Hits {
+			res.Strategy = vec.Clone(s)
+			res.Cost = c
+			res.Hits = h
+		}
+	}
+	return res, nil
+}
+
+// attributeScale estimates a natural magnitude for random strategies from
+// the target's attribute norm.
+func attributeScale(w interface{ Attrs(int) vec.Vector }, target int) float64 {
+	n := vec.Norm2(w.Attrs(target))
+	if n == 0 {
+		return 1
+	}
+	return n
+}

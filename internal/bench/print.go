@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Registry maps experiment names to their runners, for cmd/iqbench.
+type Runner func(cfg Config, progress io.Writer) (*Figure, error)
+
+// Registry lists every reproducible experiment by name.
+var Registry = map[string]Runner{
+	"fig4":            Fig4,
+	"fig5":            Fig5,
+	"fig6":            Fig6,
+	"fig7":            Fig7,
+	"fig8":            Fig8,
+	"fig9":            Fig9,
+	"fig10":           Fig10,
+	"fig11":           Fig11,
+	"fig12":           Fig12,
+	"fig13":           Fig13,
+	"ablation-fanout": AblationFanout,
+	"ablation-cap":    AblationIntersectionCap,
+	"ablation-slack":  AblationSkybandSlack,
+	"eval-cost":       EvaluatorCost,
+}
+
+// Names returns registry keys in a stable order (figures first).
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := strings.HasPrefix(out[i], "fig"), strings.HasPrefix(out[j], "fig")
+		if fi != fj {
+			return fi
+		}
+		if fi {
+			// Numeric order for figN.
+			return figNum(out[i]) < figNum(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func figNum(s string) int {
+	n := 0
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// Print renders a figure as aligned text tables, one per panel, in the same
+// rows/series layout as the paper's plots.
+func Print(w io.Writer, fig *Figure) {
+	fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title)
+	for _, p := range fig.Panels {
+		fmt.Fprintf(w, "\n%s  [y: %s]\n", p.Title, p.YLabel)
+		if len(p.Series) == 0 {
+			fmt.Fprintln(w, "  (no data)")
+			continue
+		}
+		// Header: x label then series names.
+		fmt.Fprintf(w, "  %-12s", p.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(w, " %14s", s.Name)
+		}
+		fmt.Fprintln(w)
+		// Rows keyed by x of the first series.
+		for i := range p.Series[0].X {
+			fmt.Fprintf(w, "  %-12g", p.Series[0].X[i])
+			for _, s := range p.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(w, " %14.4f", s.Y[i])
+				} else {
+					fmt.Fprintf(w, " %14s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,129 @@
+// Package bloom implements a standard Bloom filter. Section 4.3 of the paper
+// uses one to index subdomains by their boundary intersections so that object
+// removal can quickly locate the subdomains a vanishing intersection bounds.
+package bloom
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a Bloom filter over byte-string keys. The zero value is unusable;
+// construct with New or NewWithEstimates.
+type Filter struct {
+	bits    []uint64
+	m       uint64 // number of bits
+	k       int    // number of hash functions
+	inserts int
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions. m < 64 is raised to 64 and k < 1 to 1.
+func New(m uint64, k int) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}
+}
+
+// NewWithEstimates sizes the filter for n expected insertions at the target
+// false-positive probability p using the standard formulas
+// m = −n·ln p / (ln 2)² and k = (m/n)·ln 2.
+func NewWithEstimates(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	return New(m, k)
+}
+
+// indices derives k bit positions using double hashing over two FNV-1a
+// variants (Kirsch–Mitzenmacher).
+func (f *Filter) indices(key []byte) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write(key)
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write(key)
+	b := h2.Sum64() | 1 // odd so all positions are reachable
+	return a, b
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key []byte) {
+	a, b := f.indices(key)
+	for i := 0; i < f.k; i++ {
+		pos := (a + uint64(i)*b) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.inserts++
+}
+
+// Contains reports whether key may have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key []byte) bool {
+	a, b := f.indices(key)
+	for i := 0; i < f.k; i++ {
+		pos := (a + uint64(i)*b) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddPair inserts an (a, b) integer pair, the natural key shape for
+// "intersection of objects a and b bounds subdomain d" facts.
+func (f *Filter) AddPair(a, b int) {
+	f.Add(pairKey(a, b))
+}
+
+// ContainsPair tests an (a, b) integer pair.
+func (f *Filter) ContainsPair(a, b int) bool {
+	return f.Contains(pairKey(a, b))
+}
+
+func pairKey(a, b int) []byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(a))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(b))
+	return buf[:]
+}
+
+// Len returns the number of Add calls made.
+func (f *Filter) Len() int { return f.inserts }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// EstimatedFalsePositiveRate returns (1 − e^{−kn/m})^k for the current n.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	if f.inserts == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.inserts) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.inserts = 0
+}
+
+// SizeBytes returns the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }

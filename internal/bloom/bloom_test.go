@@ -1,0 +1,112 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	n := 5000
+	f := NewWithEstimates(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("in-%d", i)))
+	}
+	fp := 0
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		if f.Contains([]byte(fmt.Sprintf("out-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.4f, expected ≲0.01 (allowing 5x slack)", rate)
+	}
+	est := f.EstimatedFalsePositiveRate()
+	if est <= 0 || est > 0.05 {
+		t.Errorf("estimated fp rate %.4f out of expected range", est)
+	}
+}
+
+func TestPairKeys(t *testing.T) {
+	f := New(1<<12, 4)
+	f.AddPair(3, 7)
+	f.AddPair(100, -5)
+	if !f.ContainsPair(3, 7) || !f.ContainsPair(100, -5) {
+		t.Error("pair false negative")
+	}
+	// (7,3) is a different key than (3,7).
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if f.ContainsPair(i+1000, i+2000) {
+			hits++
+		}
+	}
+	if hits > 50 {
+		t.Errorf("too many pair false positives: %d/1000", hits)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(256, 3)
+	f.Add([]byte("x"))
+	if f.Len() != 1 {
+		t.Errorf("Len=%d", f.Len())
+	}
+	f.Reset()
+	if f.Len() != 0 || f.Contains([]byte("x")) {
+		t.Error("Reset did not clear")
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter should estimate 0 fp rate")
+	}
+}
+
+func TestConstructorClamps(t *testing.T) {
+	f := New(1, 0)
+	if f.Bits() < 64 || f.Hashes() < 1 {
+		t.Errorf("clamping failed: bits=%d k=%d", f.Bits(), f.Hashes())
+	}
+	f = NewWithEstimates(0, 2.0) // both invalid
+	if f.Bits() == 0 || f.Hashes() == 0 {
+		t.Error("NewWithEstimates with bad args produced unusable filter")
+	}
+	if f.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+// Property: anything added is always found (no false negatives), for
+// arbitrary byte strings.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := New(1<<14, 5)
+	seen := [][]byte{}
+	add := func(key []byte) bool {
+		f.Add(key)
+		seen = append(seen, key)
+		for _, k := range seen {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(add, cfg); err != nil {
+		t.Error(err)
+	}
+}

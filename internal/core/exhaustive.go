@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iq/internal/lp"
+	"iq/internal/subdomain"
+	"iq/internal/vec"
+)
+
+// This file implements the paper's exhaustive search option (Section 4.2):
+// the optimal improvement strategy found through mathematical optimisation,
+// "only feasible for very small datasets". Subset enumeration over which
+// queries to hit is combined with an exact min-cost-to-satisfy-all solve per
+// subset (L2 via Dykstra projections, L1 via the simplex). Tests use it to
+// measure the greedy heuristic's optimality gap.
+
+// ErrExhaustiveTooLarge guards against accidental exponential blow-ups.
+var ErrExhaustiveTooLarge = errors.New("core: instance too large for exhaustive search")
+
+// ErrExhaustiveUnsupported is returned for cost functions or spaces without
+// an exact multi-constraint solver.
+var ErrExhaustiveUnsupported = errors.New("core: exhaustive search supports L2/L1 costs on linear spaces without bounds")
+
+// exhaustiveLimit bounds the number of subsets enumerated.
+const exhaustiveLimit = 2_000_000
+
+// ExhaustiveMinCost finds the optimal min-cost strategy by enumerating every
+// τ-subset of queries and exactly solving the joint constraint system. Only
+// linear spaces with L1/L2 costs and no bounds are supported.
+func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
+	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
+		return nil, err
+	}
+	if req.Bounds != nil {
+		return nil, ErrExhaustiveUnsupported
+	}
+	w := idx.Workload()
+	if !w.Space().Linear() {
+		return nil, ErrExhaustiveUnsupported
+	}
+	m := w.NumQueries()
+	if req.Tau > m {
+		return nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", req.Tau, m, ErrGoalUnreachable)
+	}
+	if req.Tau <= 0 {
+		d := len(w.Attrs(req.Target))
+		return &Result{Strategy: vec.New(d)}, nil
+	}
+	if binomialExceeds(m, req.Tau, exhaustiveLimit) {
+		return nil, ErrExhaustiveTooLarge
+	}
+
+	normals, rhs, freebies := constraintSystem(idx, req.Target)
+	// Queries with no k-th competitor are hit by anything; they reduce the
+	// effective τ.
+	effTau := req.Tau - len(freebies)
+	d := len(w.Attrs(req.Target))
+	if effTau <= 0 {
+		return finishExhaustive(idx, req.Target, req.Cost, vec.New(d))
+	}
+	constrained := make([]int, 0, m)
+	for j := 0; j < m; j++ {
+		if !freebies[j] {
+			constrained = append(constrained, j)
+		}
+	}
+
+	bestCost := math.Inf(1)
+	var bestS vec.Vector
+	forEachSubset(len(constrained), effTau, func(subset []int) {
+		ns := make([]vec.Vector, len(subset))
+		bs := make([]float64, len(subset))
+		for i, si := range subset {
+			j := constrained[si]
+			ns[i] = normals[j]
+			bs[i] = rhs[j]
+		}
+		s, err := solveJoint(req.Cost, ns, bs)
+		if err != nil {
+			return
+		}
+		if c := req.Cost.Of(s); c < bestCost {
+			bestCost, bestS = c, s
+		}
+	})
+	if bestS == nil {
+		return nil, ErrGoalUnreachable
+	}
+	return finishExhaustive(idx, req.Target, req.Cost, bestS)
+}
+
+// ExhaustiveMaxHit finds the optimal max-hit strategy: the largest h for
+// which some h-subset of queries is jointly hittable within the budget,
+// searched from the largest subset size downward.
+func ExhaustiveMaxHit(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
+		return nil, err
+	}
+	if req.Bounds != nil {
+		return nil, ErrExhaustiveUnsupported
+	}
+	w := idx.Workload()
+	if !w.Space().Linear() {
+		return nil, ErrExhaustiveUnsupported
+	}
+	m := w.NumQueries()
+	if m > 22 {
+		return nil, ErrExhaustiveTooLarge // 2^22 subsets ceiling
+	}
+	normals, rhs, freebies := constraintSystem(idx, req.Target)
+	constrained := make([]int, 0, m)
+	for j := 0; j < m; j++ {
+		if !freebies[j] {
+			constrained = append(constrained, j)
+		}
+	}
+	d := len(w.Attrs(req.Target))
+	for h := len(constrained); h >= 0; h-- {
+		var bestS vec.Vector
+		bestCost := math.Inf(1)
+		if h == 0 {
+			return finishExhaustive(idx, req.Target, req.Cost, vec.New(d))
+		}
+		forEachSubset(len(constrained), h, func(subset []int) {
+			ns := make([]vec.Vector, len(subset))
+			bs := make([]float64, len(subset))
+			for i, si := range subset {
+				j := constrained[si]
+				ns[i] = normals[j]
+				bs[i] = rhs[j]
+			}
+			s, err := solveJoint(req.Cost, ns, bs)
+			if err != nil {
+				return
+			}
+			if c := req.Cost.Of(s); c <= req.Budget && c < bestCost {
+				bestCost, bestS = c, s
+			}
+		})
+		if bestS != nil {
+			return finishExhaustive(idx, req.Target, req.Cost, bestS)
+		}
+	}
+	return finishExhaustive(idx, req.Target, req.Cost, vec.New(d))
+}
+
+// constraintSystem builds, per query, the halfspace the improved target must
+// satisfy to hit it: normal·s ≤ rhs. freebies marks queries hit by any
+// strategy (fewer than k competitors).
+func constraintSystem(idx *subdomain.Index, target int) (normals []vec.Vector, rhs []float64, freebies map[int]bool) {
+	w := idx.Workload()
+	m := w.NumQueries()
+	normals = make([]vec.Vector, m)
+	rhs = make([]float64, m)
+	freebies = map[int]bool{}
+	for j := 0; j < m; j++ {
+		t, bounded := hitThreshold(idx, target, j)
+		if !bounded {
+			freebies[j] = true
+			continue
+		}
+		q := w.Query(j).Point
+		normals[j] = q
+		rhs[j] = t - vec.Dot(w.Coeff(target), q) - strictMargin(t)
+	}
+	return normals, rhs, freebies
+}
+
+// solveJoint exactly minimises the cost subject to every halfspace.
+func solveJoint(cost Cost, normals []vec.Vector, rhs []float64) (vec.Vector, error) {
+	switch cost.(type) {
+	case L2Cost:
+		return lp.MinL2ToSatisfyAll(normals, rhs)
+	case L1Cost:
+		if len(normals) == 0 {
+			return vec.Vector{}, nil
+		}
+		d := len(normals[0])
+		ones := make([]float64, d)
+		for i := range ones {
+			ones[i] = 1
+		}
+		a := make([][]float64, len(normals))
+		for i := range normals {
+			a[i] = normals[i]
+		}
+		s, _, err := lp.SolveFree(ones, ones, a, rhs)
+		return s, err
+	default:
+		return nil, ErrExhaustiveUnsupported
+	}
+}
+
+// finishExhaustive packages a strategy into a Result with its true hit
+// count.
+func finishExhaustive(idx *subdomain.Index, target int, cost Cost, s vec.Vector) (*Result, error) {
+	w := idx.Workload()
+	hits, err := w.HitsExact(vec.Add(w.Attrs(target), s), target)
+	if err != nil {
+		return nil, err
+	}
+	base, err := w.HitsExact(w.Attrs(target), target)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: s, Cost: cost.Of(s), Hits: hits, BaseHits: base}, nil
+}
+
+// forEachSubset enumerates every size-k subset of {0..n-1}.
+func forEachSubset(n, k int, visit func([]int)) {
+	if k > n || k < 0 {
+		return
+	}
+	subset := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			visit(subset)
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			subset[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// binomialExceeds reports whether C(n,k) exceeds limit without overflowing.
+func binomialExceeds(n, k, limit int) bool {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+		if c > float64(limit) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"iq/internal/subdomain"
+	"iq/internal/vec"
+)
+
+// MaxHitRequest describes a Max-Hit Improvement Query (Definition 3): hit as
+// many queries as possible while Cost(s) ≤ Budget.
+type MaxHitRequest struct {
+	Target int
+	Budget float64
+	Cost   Cost
+	Bounds *Bounds
+	// Workers fans candidate evaluation out across goroutines (≤1 =
+	// serial). The result is identical regardless of worker count.
+	Workers int
+}
+
+// MaxHitIQ answers a Max-Hit improvement query with the greedy heuristic of
+// Algorithm 4: while budget remains, apply the candidate strategy with the
+// lowest cost per hit; when the best-ratio candidate no longer fits, a final
+// fill pass walks the remaining candidates in cost order and applies any
+// that still fit (lines 13–17).
+//
+// One deliberate deviation from the paper's literal pseudocode: budgets are
+// checked against the cost of the *cumulative* strategy Cost(s*+s) rather
+// than the sum Cost(s*)+Cost(s). Definition 3 constrains the final
+// strategy's cost, and for norm-like costs the sum over-estimates
+// (triangle inequality), so the cumulative check is both more faithful to
+// the definition and never worse.
+func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
+		return nil, err
+	}
+	if req.Budget < 0 {
+		return nil, fmt.Errorf("core: negative budget %g", req.Budget)
+	}
+	w := idx.Workload()
+	pool, err := evaluatorPool(idx, req.Target, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ev := pool[0]
+	d := len(w.Attrs(req.Target))
+	res := &Result{Strategy: vec.New(d), BaseHits: ev.BaseHits(), Hits: ev.BaseHits()}
+
+	cur := vec.New(d)
+	hit := map[int]bool{}
+	for j := 0; j < w.NumQueries(); j++ {
+		if ev.BaseHit(j) {
+			hit[j] = true
+		}
+	}
+	curHits := ev.BaseHits()
+
+	for {
+		res.Iterations++
+		if res.Iterations > w.NumQueries()+8 {
+			break
+		}
+		cands := generateCandidates(idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		res.Evaluations += len(cands)
+		best, ok := bestRatio(cands, curHits)
+		if !ok {
+			break // no candidate gains hits: every query hit or infeasible
+		}
+		if best.Cost <= req.Budget {
+			cur = best.Strategy
+			curHits = best.Hits
+			coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
+			if err != nil {
+				return res, err
+			}
+			hit = ev.HitSet(coeff)
+			res.Strategy = vec.Clone(cur)
+			res.Cost = req.Cost.Of(cur)
+			res.Hits = curHits
+			continue
+		}
+		// Final fill pass (Algorithm 4 lines 13–18): cheapest-first over
+		// the remaining candidates; apply the first that fits and
+		// re-enter the loop in case the new position unlocks more.
+		sort.Slice(cands, func(a, b int) bool { return cands[a].Cost < cands[b].Cost })
+		applied := false
+		for _, c := range cands {
+			if c.Hits <= curHits || c.Cost > req.Budget {
+				continue
+			}
+			cur = c.Strategy
+			curHits = c.Hits
+			coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
+			if err != nil {
+				return res, err
+			}
+			hit = ev.HitSet(coeff)
+			res.Strategy = vec.Clone(cur)
+			res.Cost = req.Cost.Of(cur)
+			res.Hits = curHits
+			applied = true
+			break
+		}
+		if !applied {
+			break // nothing affordable gains a hit
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"iq/internal/subdomain"
+	"iq/internal/vec"
+)
+
+// MinCostRequest describes a Min-Cost Improvement Query (Definition 2): find
+// a low-cost strategy making the target hit at least Tau queries.
+type MinCostRequest struct {
+	Target int
+	Tau    int
+	Cost   Cost
+	// Bounds restricts valid strategies (nil = unbounded).
+	Bounds *Bounds
+	// Workers fans candidate evaluation out across goroutines (≤1 =
+	// serial). The result is identical regardless of worker count.
+	Workers int
+}
+
+// Result reports an improvement query's outcome.
+type Result struct {
+	// Strategy is the improvement vector s with p' = p + s.
+	Strategy vec.Vector
+	// Cost is Cost(Strategy).
+	Cost float64
+	// Hits is H(p + s), the number of queries the improved object hits.
+	Hits int
+	// BaseHits is H(p) before improvement.
+	BaseHits int
+	// Iterations counts greedy rounds; Evaluations counts ESE calls.
+	Iterations  int
+	Evaluations int
+}
+
+// CostPerHit returns Cost/Hits, the paper's unified quality metric (lower is
+// better); +Inf when nothing is hit.
+func (r *Result) CostPerHit() float64 {
+	if r.Hits == 0 {
+		return inf()
+	}
+	return r.Cost / float64(r.Hits)
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// MinCostIQ answers a Min-Cost improvement query with the greedy heuristic
+// of Algorithm 3: each round generates, for every unhit query, the cheapest
+// strategy hitting it, evaluates the candidates with ESE, and applies the
+// one with the lowest cost per hit; the paper's anti-overshoot rule returns
+// the cheapest candidate reaching τ rather than overshooting it.
+func MinCostIQ(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
+	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
+		return nil, err
+	}
+	w := idx.Workload()
+	if req.Tau < 0 {
+		return nil, fmt.Errorf("core: negative tau %d", req.Tau)
+	}
+	if req.Tau > w.NumQueries() {
+		return nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", req.Tau, w.NumQueries(), ErrGoalUnreachable)
+	}
+	pool, err := evaluatorPool(idx, req.Target, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ev := pool[0]
+	d := len(w.Attrs(req.Target))
+	res := &Result{Strategy: vec.New(d), BaseHits: ev.BaseHits(), Hits: ev.BaseHits()}
+	if res.Hits >= req.Tau {
+		return res, nil // already satisfied with the zero strategy
+	}
+
+	cur := vec.New(d)
+	hit := map[int]bool{}
+	for j := 0; j < w.NumQueries(); j++ {
+		if ev.BaseHit(j) {
+			hit[j] = true
+		}
+	}
+	curHits := ev.BaseHits()
+
+	for curHits < req.Tau {
+		res.Iterations++
+		cands := generateCandidates(idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		res.Evaluations += len(cands)
+		best, ok := bestRatio(cands, curHits)
+		if !ok {
+			return res, fmt.Errorf("core: stalled at %d of %d hits: %w", curHits, req.Tau, ErrGoalUnreachable)
+		}
+		if best.Hits > req.Tau {
+			// Anti-overshoot (Algorithm 3 lines 10–13): prefer the
+			// cheapest candidate that reaches τ without overshooting cost.
+			cheapest, found := best, false
+			for _, c := range cands {
+				if c.Hits >= req.Tau && (!found || c.Cost < cheapest.Cost) {
+					cheapest, found = c, true
+				}
+			}
+			if found {
+				best = cheapest
+			}
+		}
+		cur = best.Strategy
+		curHits = best.Hits
+		coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
+		if err != nil {
+			return res, err
+		}
+		hit = ev.HitSet(coeff)
+		res.Strategy = vec.Clone(cur)
+		res.Cost = req.Cost.Of(cur)
+		res.Hits = curHits
+		if res.Iterations > w.NumQueries()+req.Tau+8 {
+			return res, fmt.Errorf("core: iteration guard tripped: %w", ErrGoalUnreachable)
+		}
+	}
+	return res, nil
+}
+
+func validateCommon(idx *subdomain.Index, target int, cost Cost) error {
+	w := idx.Workload()
+	if target < 0 || target >= w.NumObjects() {
+		return fmt.Errorf("core: target %d out of range [0,%d)", target, w.NumObjects())
+	}
+	if w.IsRemoved(target) {
+		return fmt.Errorf("core: target %d is removed", target)
+	}
+	if cost == nil {
+		return fmt.Errorf("core: nil cost function")
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"iq/internal/ese"
+	"iq/internal/subdomain"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// This file implements the combinatorial (multi-target) improvement queries
+// of Section 5.1: improve a set of objects so their combined hit count
+// reaches τ (min cost) or is maximised under a shared budget. A query hit by
+// several targets counts once.
+
+// TargetSpec pairs a target object with its own cost function and validity
+// bounds — the paper lets each target carry a different cost function.
+type TargetSpec struct {
+	Target int
+	Cost   Cost
+	Bounds *Bounds
+}
+
+// MultiResult reports a combinatorial improvement query's outcome.
+type MultiResult struct {
+	// Strategies maps target object index → improvement vector.
+	Strategies map[int]vec.Vector
+	// TotalCost is the sum of the per-target strategy costs.
+	TotalCost float64
+	// TotalHits is the size of the union of the targets' hit sets, with
+	// every target evaluated against the original competitors (the
+	// convention of the Section 5.1 candidate-generation steps).
+	TotalHits int
+	// Iterations and Evaluations mirror Result's counters.
+	Iterations  int
+	Evaluations int
+}
+
+// CostPerHit returns TotalCost/TotalHits, the paper's quality metric.
+func (r *MultiResult) CostPerHit() float64 {
+	if r.TotalHits == 0 {
+		return inf()
+	}
+	return r.TotalCost / float64(r.TotalHits)
+}
+
+// multiState carries the per-target search state.
+type multiState struct {
+	idx   *subdomain.Index
+	specs []TargetSpec
+	evs   []*ese.Evaluator
+	cur   []vec.Vector   // cumulative strategy per target
+	hits  []map[int]bool // per-target hit sets
+	union map[int]int    // query -> number of targets hitting it
+}
+
+func newMultiState(idx *subdomain.Index, specs []TargetSpec) (*multiState, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no target objects")
+	}
+	seen := map[int]bool{}
+	st := &multiState{idx: idx, specs: specs, union: map[int]int{}}
+	for _, spec := range specs {
+		if err := validateCommon(idx, spec.Target, spec.Cost); err != nil {
+			return nil, err
+		}
+		if seen[spec.Target] {
+			return nil, fmt.Errorf("core: duplicate target %d", spec.Target)
+		}
+		seen[spec.Target] = true
+		ev, err := ese.New(idx, spec.Target)
+		if err != nil {
+			return nil, err
+		}
+		st.evs = append(st.evs, ev)
+		d := len(idx.Workload().Attrs(spec.Target))
+		st.cur = append(st.cur, vec.New(d))
+		hs := map[int]bool{}
+		for j := 0; j < idx.Workload().NumQueries(); j++ {
+			if ev.BaseHit(j) {
+				hs[j] = true
+				st.union[j]++
+			}
+		}
+		st.hits = append(st.hits, hs)
+	}
+	return st, nil
+}
+
+func (st *multiState) unionSize() int { return len(st.union) }
+
+func (st *multiState) totalCost() float64 {
+	c := 0.0
+	for i, spec := range st.specs {
+		c += spec.Cost.Of(st.cur[i])
+	}
+	return c
+}
+
+// apply commits candidate strategy u for target slot i, refreshing hit sets
+// and the union.
+func (st *multiState) apply(i int, u vec.Vector) error {
+	w := st.idx.Workload()
+	coeff, err := w.Space().Embed(vec.Add(w.Attrs(st.specs[i].Target), u))
+	if err != nil {
+		return err
+	}
+	newHits := st.evs[i].HitSet(coeff)
+	for j := range st.hits[i] {
+		if !newHits[j] {
+			st.union[j]--
+			if st.union[j] == 0 {
+				delete(st.union, j)
+			}
+		}
+	}
+	for j := range newHits {
+		if !st.hits[i][j] {
+			st.union[j]++
+		}
+	}
+	st.hits[i] = newHits
+	st.cur[i] = vec.Clone(u)
+	return nil
+}
+
+// multiCandidate extends Candidate with the target slot and the resulting
+// union size.
+type multiCandidate struct {
+	slot      int
+	strategy  vec.Vector
+	cost      float64 // total cost across all targets if applied
+	unionSize int
+}
+
+// generate produces, for every (target, unhit query) pair, the min-cost
+// strategy making that target hit that query — Step 1 of both Section 5.1
+// procedures.
+func (st *multiState) generate() ([]multiCandidate, int) {
+	w := st.idx.Workload()
+	var out []multiCandidate
+	evals := 0
+	for i, spec := range st.specs {
+		baseCostOthers := 0.0
+		for k, other := range st.specs {
+			if k != i {
+				baseCostOthers += other.Cost.Of(st.cur[k])
+			}
+		}
+		for j := 0; j < w.NumQueries(); j++ {
+			if st.union[j] > 0 || w.IsQueryRemoved(j) {
+				continue // already hit by some target, or removed
+			}
+			u, err := solveHit(st.idx, spec.Target, st.cur[i], j, spec.Cost, spec.Bounds)
+			if err != nil || !spec.Bounds.Contains(u) {
+				continue
+			}
+			coeff, err := w.Space().Embed(vec.Add(w.Attrs(spec.Target), u))
+			if err != nil {
+				continue
+			}
+			newHits := st.evs[i].HitSet(coeff)
+			evals++
+			// Union size if applied.
+			size := st.unionSize()
+			for q := range st.hits[i] {
+				if !newHits[q] && st.union[q] == 1 {
+					size--
+				}
+			}
+			for q := range newHits {
+				if !st.hits[i][q] && st.union[q] == 0 {
+					size++
+				}
+			}
+			out = append(out, multiCandidate{
+				slot:      i,
+				strategy:  u,
+				cost:      baseCostOthers + spec.Cost.Of(u),
+				unionSize: size,
+			})
+		}
+	}
+	return out, evals
+}
+
+// CombinatorialMinCostIQ finds per-target strategies whose combined hits
+// reach tau with low total cost (Section 5.1, first procedure).
+func CombinatorialMinCostIQ(idx *subdomain.Index, specs []TargetSpec, tau int) (*MultiResult, error) {
+	st, err := newMultiState(idx, specs)
+	if err != nil {
+		return nil, err
+	}
+	w := idx.Workload()
+	if tau > w.NumQueries() {
+		return nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", tau, w.NumQueries(), ErrGoalUnreachable)
+	}
+	res := &MultiResult{Strategies: map[int]vec.Vector{}}
+	for st.unionSize() < tau {
+		res.Iterations++
+		if res.Iterations > w.NumQueries()+tau+8 {
+			st.fill(res)
+			return res, fmt.Errorf("core: iteration guard tripped: %w", ErrGoalUnreachable)
+		}
+		cands, evals := st.generate()
+		res.Evaluations += evals
+		best, ok := pickBestMulti(cands, st.unionSize())
+		if !ok {
+			st.fill(res)
+			return res, fmt.Errorf("core: stalled at %d of %d hits: %w", st.unionSize(), tau, ErrGoalUnreachable)
+		}
+		// Anti-overshoot (Step 2): when the ratio-best overshoots τ,
+		// prefer the cheapest candidate reaching τ.
+		if best.unionSize > tau {
+			cheapest, found := best, false
+			for _, c := range cands {
+				if c.unionSize >= tau && (!found || c.cost < cheapest.cost) {
+					cheapest, found = c, true
+				}
+			}
+			if found {
+				best = cheapest
+			}
+		}
+		if err := st.apply(best.slot, best.strategy); err != nil {
+			return res, err
+		}
+	}
+	st.fill(res)
+	return res, nil
+}
+
+// CombinatorialMaxHitIQ maximises the combined hit count under a shared
+// budget (Section 5.1, second procedure).
+func CombinatorialMaxHitIQ(idx *subdomain.Index, specs []TargetSpec, budget float64) (*MultiResult, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("core: negative budget %g", budget)
+	}
+	st, err := newMultiState(idx, specs)
+	if err != nil {
+		return nil, err
+	}
+	w := idx.Workload()
+	res := &MultiResult{Strategies: map[int]vec.Vector{}}
+	for {
+		res.Iterations++
+		if res.Iterations > w.NumQueries()+8 {
+			break
+		}
+		cands, evals := st.generate()
+		res.Evaluations += evals
+		// Step 2: filter candidates whose total cost exceeds the budget.
+		var affordable []multiCandidate
+		for _, c := range cands {
+			if c.cost <= budget {
+				affordable = append(affordable, c)
+			}
+		}
+		best, ok := pickBestMulti(affordable, st.unionSize())
+		if !ok {
+			break // Step 2: candidate set empty → terminate
+		}
+		if err := st.apply(best.slot, best.strategy); err != nil {
+			return res, err
+		}
+	}
+	st.fill(res)
+	return res, nil
+}
+
+func pickBestMulti(cands []multiCandidate, baseUnion int) (multiCandidate, bool) {
+	best := multiCandidate{}
+	bestVal := 0.0
+	found := false
+	for _, c := range cands {
+		if c.unionSize <= baseUnion {
+			continue
+		}
+		ratio := c.cost / float64(c.unionSize)
+		if !found || ratio < bestVal {
+			best, bestVal, found = c, ratio, true
+		}
+	}
+	return best, found
+}
+
+// fill copies the state into the result.
+func (st *multiState) fill(res *MultiResult) {
+	for i, spec := range st.specs {
+		res.Strategies[spec.Target] = vec.Clone(st.cur[i])
+	}
+	res.TotalCost = st.totalCost()
+	res.TotalHits = st.unionSize()
+}
+
+// ExactUnionHits recomputes the union hit count with every target's
+// improvement committed simultaneously, so improved targets compete against
+// each other — the strictest reading of Definition 5. It builds a scratch
+// workload and is O(targets × queries × objects); intended for verification
+// and reporting, not the inner search loop.
+func ExactUnionHits(idx *subdomain.Index, strategies map[int]vec.Vector) (int, error) {
+	w := idx.Workload()
+	attrs := make([]vec.Vector, w.NumObjects())
+	for i := range attrs {
+		attrs[i] = vec.Clone(w.Attrs(i))
+	}
+	for target, s := range strategies {
+		if target < 0 || target >= len(attrs) {
+			return 0, fmt.Errorf("core: strategy for unknown target %d", target)
+		}
+		attrs[target] = vec.Add(attrs[target], s)
+	}
+	queries := make([]topk.Query, w.NumQueries())
+	for j := range queries {
+		queries[j] = w.Query(j)
+	}
+	scratch, err := topk.NewWorkload(w.Space(), attrs, queries)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < w.NumObjects(); i++ {
+		if w.IsRemoved(i) {
+			scratch.RemoveObject(i)
+		}
+	}
+	union := map[int]bool{}
+	for target := range strategies {
+		hs, err := scratch.HitSet(scratch.Attrs(target), target)
+		if err != nil {
+			return 0, err
+		}
+		for _, j := range hs {
+			union[j] = true
+		}
+	}
+	return len(union), nil
+}

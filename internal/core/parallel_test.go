@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"iq/internal/vec"
+)
+
+// Parallel candidate evaluation must be a pure speed knob: identical results
+// to serial execution at every worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	idx := fixture(t, rng, 120, 80, 3, 4)
+	for trial := 0; trial < 6; trial++ {
+		target := rng.Intn(idx.Workload().NumObjects())
+		tau := 5 + rng.Intn(15)
+		serial, err := MinCostIQ(idx, MinCostRequest{Target: target, Tau: tau, Cost: L2Cost{}})
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par, err := MinCostIQ(idx, MinCostRequest{Target: target, Tau: tau, Cost: L2Cost{}, Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if !vec.Equal(serial.Strategy, par.Strategy) {
+				t.Fatalf("trial %d workers=%d: strategy diverged\n serial %v\n parallel %v",
+					trial, workers, serial.Strategy, par.Strategy)
+			}
+			if serial.Hits != par.Hits || serial.Cost != par.Cost {
+				t.Fatalf("trial %d workers=%d: metrics diverged", trial, workers)
+			}
+		}
+	}
+}
+
+func TestParallelMaxHitMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	idx := fixture(t, rng, 100, 60, 3, 3)
+	for trial := 0; trial < 4; trial++ {
+		target := rng.Intn(idx.Workload().NumObjects())
+		budget := 0.3 + rng.Float64()*0.5
+		serial, err := MaxHitIQ(idx, MaxHitRequest{Target: target, Budget: budget, Cost: L2Cost{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MaxHitIQ(idx, MaxHitRequest{Target: target, Budget: budget, Cost: L2Cost{}, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vec.Equal(serial.Strategy, par.Strategy) || serial.Hits != par.Hits {
+			t.Fatalf("trial %d: parallel MaxHit diverged", trial)
+		}
+	}
+}

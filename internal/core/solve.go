@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"iq/internal/ese"
+	"iq/internal/subdomain"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// This file solves the per-query subproblem shared by Algorithms 3 and 4:
+// the minimum-cost strategy that makes the (already partially improved)
+// target enter one query's top-k result (Equations 13–14). Linear spaces
+// have closed forms through Cost.MinToHalfspace; non-linear embedding spaces
+// are handled with iterative linearisation (finite-difference Jacobian +
+// halfspace projection), verified against the true embedding.
+
+// ErrGoalUnreachable is returned when the desired hit count cannot be
+// reached (e.g. attribute bounds freeze the object, or τ exceeds the query
+// count).
+var ErrGoalUnreachable = errors.New("core: improvement goal unreachable")
+
+// strictMargin keeps the improved score strictly below the k-th score, as
+// Equation 6 demands. It is deliberately larger than floating-point noise:
+// minimum-cost strategies land exactly on constraint boundaries, and the
+// evaluator's sign computations (normal-vector dot products) round
+// differently from scalar score comparisons, so a knife-edge solution could
+// otherwise flip between "hit" and "miss" across code paths.
+func strictMargin(t float64) float64 {
+	return 1e-7 * (1 + absF(t))
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// hitThreshold computes the score the improved target must beat at query j:
+// the k-th best score among the other live objects (restricted to the
+// candidate skyband, which contains every possible top-k member). It
+// returns ok=false when the query has no k-th competitor (fewer than k other
+// objects — any score hits).
+func hitThreshold(idx *subdomain.Index, target, j int) (float64, bool) {
+	w := idx.Workload()
+	q := w.Query(j)
+	// Evaluate among candidates excluding the target.
+	cands := idx.Candidates()
+	filtered := make([]int, 0, len(cands))
+	for _, c := range cands {
+		if c != target {
+			filtered = append(filtered, c)
+		}
+	}
+	res := w.EvaluateAmong(filtered, q)
+	if len(res.Ordered) < q.K {
+		return 0, false
+	}
+	return res.KthScore, true
+}
+
+// solveHit finds a low-cost cumulative strategy u (relative to the target's
+// original attributes) such that the target improved by u hits query j.
+// cur is the currently accumulated strategy; the returned u extends it
+// (u = cur for queries already hit). The cost minimised is Cost(u), the
+// total cost of the final strategy, matching Definitions 2–3.
+func solveHit(idx *subdomain.Index, target int, cur vec.Vector, j int, cost Cost, bounds *Bounds) (vec.Vector, error) {
+	w := idx.Workload()
+	space := w.Space()
+	q := w.Query(j)
+	threshold, bounded := hitThreshold(idx, target, j)
+	if !bounded {
+		return vec.Clone(cur), nil // fewer than k competitors: already hit
+	}
+	if space.Linear() {
+		// Incremental step from the current improved position p' = p+cur
+		// (Algorithm 3 line 5 solves from p', not from the original p):
+		// q·(p + cur + δ) < threshold  ⇔  q·δ ≤ rhs. With non-negative
+		// query weights the minimal L2 step only decreases attribute
+		// values, so previously gained hits are preserved.
+		coeffCur := vec.Add(w.Coeff(target), cur)
+		rhs := threshold - vec.Dot(coeffCur, q.Point) - strictMargin(threshold)
+		var shifted *Bounds
+		if bounds != nil {
+			shifted = &Bounds{Lo: vec.Sub(bounds.Lo, cur), Hi: vec.Sub(bounds.Hi, cur)}
+		}
+		delta, err := cost.MinToHalfspace(q.Point, rhs, shifted)
+		if err != nil {
+			return nil, err
+		}
+		return vec.Add(cur, delta), nil
+	}
+	return solveHitNonLinear(w, target, cur, q, threshold, cost, bounds)
+}
+
+// solveHitNonLinear iteratively linearises the embedding around the current
+// strategy: an SQP-style loop solving a halfspace subproblem against the
+// finite-difference Jacobian of score(s) = q·Embed(p+s).
+func solveHitNonLinear(w *topk.Workload, target int, cur vec.Vector, q topk.Query, threshold float64, cost Cost, bounds *Bounds) (vec.Vector, error) {
+	p := w.Attrs(target)
+	d := len(p)
+	score := func(u vec.Vector) (float64, error) {
+		coeff, err := w.Space().Embed(vec.Add(p, u))
+		if err != nil {
+			return 0, err
+		}
+		return vec.Dot(coeff, q.Point), nil
+	}
+	u := vec.Clone(cur)
+	margin := strictMargin(threshold)
+	for iter := 0; iter < 25; iter++ {
+		f, err := score(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: non-linear solve: %w", err)
+		}
+		if f < threshold-margin/2 {
+			return u, nil
+		}
+		// Finite-difference gradient of the score w.r.t. the strategy.
+		grad := make(vec.Vector, d)
+		h := 1e-6
+		for i := 0; i < d; i++ {
+			up := vec.Clone(u)
+			up[i] += h
+			fp, err := score(up)
+			if err != nil {
+				// One-sided fallback the other way (e.g. sqrt domain).
+				up[i] = u[i] - h
+				fm, err2 := score(up)
+				if err2 != nil {
+					return nil, fmt.Errorf("core: non-linear solve gradient: %w", err)
+				}
+				grad[i] = (f - fm) / h
+				continue
+			}
+			grad[i] = (fp - f) / h
+		}
+		if vec.Norm2(grad) < 1e-12 {
+			return nil, ErrGoalUnreachable
+		}
+		// Linear model: f + grad·δ ≤ threshold − margin.
+		rhs := threshold - margin - f
+		// Solve for δ relative to u; bounds shift by u.
+		var shifted *Bounds
+		if bounds != nil {
+			shifted = &Bounds{Lo: vec.Sub(bounds.Lo, u), Hi: vec.Sub(bounds.Hi, u)}
+		}
+		delta, err := cost.MinToHalfspace(grad, rhs, shifted)
+		if err != nil {
+			return nil, err
+		}
+		if vec.Norm2(delta) < 1e-14 {
+			// The linear model thinks we are done but the true score
+			// disagrees; nudge the margin.
+			margin *= 2
+			continue
+		}
+		// Damped step to keep the linearisation honest.
+		vec.AddInPlace(u, vec.Scale(delta, 0.9))
+	}
+	// Final verification.
+	if f, err := score(u); err == nil && f < threshold {
+		return u, nil
+	}
+	return nil, ErrGoalUnreachable
+}
+
+// Candidate is one probe of the greedy search: the cumulative strategy, its
+// total cost, and its evaluated hit count.
+type Candidate struct {
+	Query    int
+	Strategy vec.Vector
+	Cost     float64
+	Hits     int
+}
+
+// generateCandidates implements the shared inner loop of Algorithms 3 and 4
+// (lines 4–8): for every query not currently hit, the min-cost strategy that
+// hits it, evaluated with ESE. With more than one evaluator in the pool the
+// per-query work fans out across goroutines (each evaluator owns mutable
+// scratch state, so one goroutine per evaluator).
+func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit map[int]bool, cost Cost, bounds *Bounds) []Candidate {
+	w := idx.Workload()
+	var unhit []int
+	for j := 0; j < w.NumQueries(); j++ {
+		if !hit[j] && !w.IsQueryRemoved(j) {
+			unhit = append(unhit, j)
+		}
+	}
+	results := make([]*Candidate, len(unhit))
+	probe := func(ev *ese.Evaluator, slot int) {
+		j := unhit[slot]
+		u, err := solveHit(idx, target, cur, j, cost, bounds)
+		if err != nil {
+			return // infeasible for this query (e.g. bounds); skip
+		}
+		if !bounds.Contains(u) {
+			return
+		}
+		coeff, err := w.Space().Embed(vec.Add(w.Attrs(target), u))
+		if err != nil {
+			return
+		}
+		h := ev.HitsWithCoeff(coeff)
+		results[slot] = &Candidate{Query: j, Strategy: u, Cost: cost.Of(u), Hits: h}
+	}
+	if len(pool) <= 1 || len(unhit) < 2*len(pool) {
+		for slot := range unhit {
+			probe(pool[0], slot)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wkr := range pool {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for slot := wkr; slot < len(unhit); slot += len(pool) {
+					probe(pool[wkr], slot)
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	}
+	out := make([]Candidate, 0, len(unhit))
+	for _, c := range results {
+		if c != nil {
+			out = append(out, *c)
+		}
+	}
+	return out
+}
+
+// evaluatorPool builds `workers` independent evaluators for one target
+// (minimum one). Each evaluator carries its own scratch state, so the pool
+// size bounds candidate-generation parallelism.
+func evaluatorPool(idx *subdomain.Index, target, workers int) ([]*ese.Evaluator, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	pool := make([]*ese.Evaluator, workers)
+	for i := range pool {
+		ev, err := ese.New(idx, target)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = ev
+	}
+	return pool, nil
+}
+
+// bestRatio returns the candidate minimising cost per hit (Algorithm 3
+// line 9 / Algorithm 4 line 9); candidates that gain no hits are skipped.
+func bestRatio(cands []Candidate, baseHits int) (Candidate, bool) {
+	best := Candidate{}
+	bestVal := 0.0
+	found := false
+	for _, c := range cands {
+		if c.Hits <= baseHits {
+			continue // no progress; a ratio over stale hits would stall
+		}
+		ratio := c.Cost / float64(c.Hits)
+		if !found || ratio < bestVal {
+			best, bestVal, found = c, ratio, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,213 @@
+// Package dataset generates the experimental workloads of Section 6.2:
+// Independent (IN), Correlated (CO) and Anti-correlated (AC) synthetic
+// object sets following Börzsönyi et al. (the paper's reference [5]);
+// Uniform (UN) and Clustered (CL) query sets following Vlachou et al. (ref
+// [21]); and synthetic stand-ins for the VEHICLE and HOUSE real-world
+// datasets (see DESIGN.md, "Substitutions" — the originals are online
+// downloads, so the stand-ins reproduce their cardinality, dimensionality
+// and correlation structure instead).
+//
+// All object attributes are normalised to [0,1], as the paper normalises its
+// real datasets. Scores are lower-is-better throughout the library, so a
+// "good" object has small attribute values; generators therefore produce the
+// usual Börzsönyi distributions directly in score space.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// Distribution identifies an object-set generator.
+type Distribution int
+
+const (
+	// Independent (IN): attributes i.i.d. uniform on [0,1].
+	Independent Distribution = iota
+	// Correlated (CO): attribute values cluster around a shared level.
+	Correlated
+	// AntiCorrelated (AC): good in one attribute implies bad in others
+	// (points scatter around the plane Σxᵢ = d/2).
+	AntiCorrelated
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "IN"
+	case Correlated:
+		return "CO"
+	case AntiCorrelated:
+		return "AC"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Objects generates n objects with d attributes from the distribution.
+func Objects(dist Distribution, n, d int, rng *rand.Rand) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		switch dist {
+		case Correlated:
+			out[i] = correlatedPoint(d, rng)
+		case AntiCorrelated:
+			out[i] = antiCorrelatedPoint(d, rng)
+		default:
+			out[i] = uniformPoint(d, rng)
+		}
+	}
+	return out
+}
+
+func uniformPoint(d int, rng *rand.Rand) vec.Vector {
+	p := make(vec.Vector, d)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+// correlatedPoint draws a base level with a centre-peaked distribution and
+// scatters attributes tightly around it (Börzsönyi's correlated generator).
+func correlatedPoint(d int, rng *rand.Rand) vec.Vector {
+	base := peakedRand(rng)
+	p := make(vec.Vector, d)
+	for i := range p {
+		p[i] = clamp01(base + normalish(rng)*0.12)
+	}
+	return p
+}
+
+// antiCorrelatedPoint scatters points around the hyperplane Σxᵢ = d/2 with
+// strongly negative pairwise correlation.
+func antiCorrelatedPoint(d int, rng *rand.Rand) vec.Vector {
+	for {
+		base := 0.5 + normalish(rng)*0.08
+		p := make(vec.Vector, d)
+		sum := 0.0
+		for i := range p {
+			p[i] = rng.Float64()
+			sum += p[i]
+		}
+		target := base * float64(d)
+		if sum == 0 {
+			continue
+		}
+		scale := target / sum
+		ok := true
+		for i := range p {
+			p[i] *= scale
+			if p[i] < 0 || p[i] > 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+}
+
+// peakedRand approximates a centre-peaked [0,1] variable (mean of two
+// uniforms).
+func peakedRand(rng *rand.Rand) float64 {
+	return (rng.Float64() + rng.Float64()) / 2
+}
+
+// normalish is a cheap approximately-normal variable with unit-ish variance
+// (Irwin–Hall with 4 uniforms, centred).
+func normalish(rng *rand.Rand) float64 {
+	s := 0.0
+	for i := 0; i < 4; i++ {
+		s += rng.Float64()
+	}
+	return (s - 2) / math.Sqrt(4.0/12.0) / 3
+}
+
+func clamp01(x float64) float64 {
+	return math.Min(1, math.Max(0, x))
+}
+
+// UNQueries generates m top-k queries with uniform independent weights in
+// [0,1]^dim; k is uniform in [1,kMax], as the experiment setting prescribes
+// (kMax = 50 in the paper). normalize scales each weight vector to sum 1,
+// the convention the RTA comparisons need.
+func UNQueries(m, dim, kMax int, normalize bool, rng *rand.Rand) []topk.Query {
+	out := make([]topk.Query, m)
+	for j := range out {
+		p := make(vec.Vector, dim)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		if normalize {
+			normalizeSum(p)
+		}
+		out[j] = topk.Query{ID: j, K: 1 + rng.Intn(kMax), Point: p}
+	}
+	return out
+}
+
+// CLQueries generates m clustered queries: `clusters` centres drawn
+// uniformly, queries scattered around them with σ≈0.05, per Vlachou et al.
+func CLQueries(m, dim, kMax, clusters int, normalize bool, rng *rand.Rand) []topk.Query {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := make([]vec.Vector, clusters)
+	for c := range centers {
+		centers[c] = uniformPoint(dim, rng)
+	}
+	out := make([]topk.Query, m)
+	for j := range out {
+		c := centers[rng.Intn(clusters)]
+		p := make(vec.Vector, dim)
+		for i := range p {
+			p[i] = clamp01(c[i] + normalish(rng)*0.05)
+		}
+		if normalize {
+			normalizeSum(p)
+		}
+		out[j] = topk.Query{ID: j, K: 1 + rng.Intn(kMax), Point: p}
+	}
+	return out
+}
+
+func normalizeSum(p vec.Vector) {
+	s := vec.Sum(p)
+	if s == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= s
+	}
+}
+
+// PolynomialSpace builds an ExprSpace u(p) = Σ wᵢ·pᵢ^degᵢ with term degrees
+// drawn uniformly from [1, maxDegree], matching the experiment setting
+// ("the degree of each term is randomly chosen from [1,5]"). Attribute
+// names are p1…pd.
+func PolynomialSpace(d, maxDegree int, rng *rand.Rand) (*topk.ExprSpace, error) {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	src := ""
+	names := make([]string, d)
+	for i := 0; i < d; i++ {
+		names[i] = fmt.Sprintf("p%d", i+1)
+		deg := 1 + rng.Intn(maxDegree)
+		if i > 0 {
+			src += " + "
+		}
+		src += fmt.Sprintf("w%d * p%d^%d", i+1, i+1, deg)
+	}
+	return topk.NewExprSpace(src, names)
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iq/internal/vec"
+)
+
+func TestObjectsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		objs := Objects(dist, 500, 4, rng)
+		if len(objs) != 500 {
+			t.Fatalf("%v: %d objects", dist, len(objs))
+		}
+		for _, o := range objs {
+			if len(o) != 4 {
+				t.Fatalf("%v: wrong dim", dist)
+			}
+			for _, x := range o {
+				if x < 0 || x > 1 {
+					t.Fatalf("%v: attribute %v out of [0,1]", dist, x)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributionCorrelationSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	co := Objects(Correlated, 3000, 3, rng)
+	ac := Objects(AntiCorrelated, 3000, 3, rng)
+	in := Objects(Independent, 3000, 3, rng)
+	if c := Correlation(co, 0, 1); c < 0.5 {
+		t.Errorf("CO correlation %v, want strongly positive", c)
+	}
+	if c := Correlation(ac, 0, 1); c > -0.2 {
+		t.Errorf("AC correlation %v, want clearly negative", c)
+	}
+	if c := Correlation(in, 0, 1); math.Abs(c) > 0.1 {
+		t.Errorf("IN correlation %v, want near zero", c)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Independent.String() != "IN" || Correlated.String() != "CO" || AntiCorrelated.String() != "AC" {
+		t.Error("Distribution names")
+	}
+	if Distribution(99).String() == "" {
+		t.Error("unknown distribution string empty")
+	}
+}
+
+func TestUNQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	qs := UNQueries(200, 3, 50, false, rng)
+	if len(qs) != 200 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.K < 1 || q.K > 50 {
+			t.Fatalf("k=%d out of range", q.K)
+		}
+		for _, x := range q.Point {
+			if x < 0 || x > 1 {
+				t.Fatalf("weight %v out of [0,1]", x)
+			}
+		}
+	}
+	// Normalised variant sums to 1.
+	norm := UNQueries(50, 4, 10, true, rng)
+	for _, q := range norm {
+		if math.Abs(vec.Sum(q.Point)-1) > 1e-9 {
+			t.Fatalf("normalised weights sum %v", vec.Sum(q.Point))
+		}
+	}
+}
+
+func TestCLQueriesAreClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cl := CLQueries(2000, 3, 10, 4, false, rng)
+	un := UNQueries(2000, 3, 10, false, rng)
+	// Clustered queries have much lower mean nearest-neighbour distance
+	// among a sample than uniform ones.
+	meanNN := func(qs []vecPoint) float64 {
+		total := 0.0
+		for i := 0; i < 150; i++ {
+			best := math.Inf(1)
+			for j := 0; j < len(qs); j++ {
+				if i == j {
+					continue
+				}
+				d := vec.Dist2(qs[i].p, qs[j].p)
+				if d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total / 150
+	}
+	clPts := make([]vecPoint, len(cl))
+	for i, q := range cl {
+		clPts[i] = vecPoint{q.Point}
+	}
+	unPts := make([]vecPoint, len(un))
+	for i, q := range un {
+		unPts[i] = vecPoint{q.Point}
+	}
+	// Dispersion check instead: clustered points concentrate around few
+	// centres, so their overall variance of pairwise distance to the mean
+	// is lower.
+	if spread(clPts) >= spread(unPts) {
+		t.Errorf("CL spread %v not below UN spread %v", spread(clPts), spread(unPts))
+	}
+	_ = meanNN
+}
+
+type vecPoint struct{ p vec.Vector }
+
+func spread(pts []vecPoint) float64 {
+	d := len(pts[0].p)
+	mean := make(vec.Vector, d)
+	for _, q := range pts {
+		vec.AddInPlace(mean, q.p)
+	}
+	vec.ScaleInPlace(mean, 1/float64(len(pts)))
+	total := 0.0
+	for _, q := range pts {
+		total += vec.Dist2(q.p, mean)
+	}
+	return total / float64(len(pts))
+}
+
+func TestVehicleObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objs := VehicleObjects(5000, rng)
+	if len(objs) != 5000 || len(objs[0]) != len(VehicleAttrNames) {
+		t.Fatalf("shape: %d x %d", len(objs), len(objs[0]))
+	}
+	// Default size matches the paper's dataset.
+	full := VehicleObjects(0, rng)
+	if len(full) != VehicleSize {
+		t.Fatalf("default size %d want %d", len(full), VehicleSize)
+	}
+	// Correlation structure: weight (1) vs mpg score (3) positive (heavier
+	// cars have worse fuel-economy scores); horsepower score (2) vs annual
+	// cost (4) negative (powerful cars cost more → hp score low when cost
+	// score high).
+	if c := Correlation(objs, 1, 3); c < 0.2 {
+		t.Errorf("weight/mpg correlation %v, want positive", c)
+	}
+	if c := Correlation(objs, 2, 4); c > -0.2 {
+		t.Errorf("horsepower/cost correlation %v, want negative", c)
+	}
+}
+
+func TestHouseObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	objs := HouseObjects(5000, rng)
+	if len(objs) != 5000 || len(objs[0]) != len(HouseAttrNames) {
+		t.Fatalf("shape: %d x %d", len(objs), len(objs[0]))
+	}
+	if c := Correlation(objs, 0, 1); c < 0.4 {
+		t.Errorf("value/income correlation %v, want strong", c)
+	}
+	if c := Correlation(objs, 0, 3); c < 0.4 {
+		t.Errorf("value/mortgage correlation %v, want strong", c)
+	}
+}
+
+func TestPolynomialSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp, err := PolynomialSpace(4, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.AttrDim() != 4 || sp.QueryDim() != 4 {
+		t.Errorf("dims %d %d", sp.AttrDim(), sp.QueryDim())
+	}
+	c, err := sp.Embed(vec.Vector{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range c {
+		if x <= 0 || x > 0.5+1e-12 {
+			t.Errorf("embedded term %v outside (0, 0.5] for 0.5 attrs (degrees ≥ 1)", x)
+		}
+	}
+	if _, err := PolynomialSpace(2, 0, rng); err != nil {
+		t.Errorf("maxDegree clamp failed: %v", err)
+	}
+}
+
+func TestCorrelationEdgeCases(t *testing.T) {
+	if c := Correlation(nil, 0, 1); c != 0 {
+		t.Errorf("empty: %v", c)
+	}
+	constant := []vec.Vector{{1, 2}, {1, 3}}
+	if c := Correlation(constant, 0, 1); c != 0 {
+		t.Errorf("zero variance: %v", c)
+	}
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"iq/internal/vec"
+)
+
+// Synthetic stand-ins for the paper's real-world datasets. The generators
+// reproduce the originals' cardinality, attribute semantics and correlation
+// structure; see DESIGN.md for the substitution rationale. Attributes are
+// produced directly in normalised [0,1] score space (lower is better), as
+// the paper normalises its real data.
+
+// VehicleSize is the VEHICLE dataset's cardinality (fueleconomy.gov vehicle
+// models as of the paper's snapshot).
+const VehicleSize = 37051
+
+// HouseSize is the HOUSE dataset's cardinality (IPUMS extract).
+const HouseSize = 100000
+
+// VehicleAttrNames names the five VEHICLE attributes in column order.
+var VehicleAttrNames = []string{"year", "weight", "horsepower", "mpg", "annual_cost"}
+
+// HouseAttrNames names the four HOUSE attributes in column order.
+var HouseAttrNames = []string{"house_value", "household_income", "persons", "mortgage"}
+
+// VehicleObjects synthesises n vehicle records (n ≤ 0 selects the full
+// VehicleSize). Correlation structure: a latent "size" factor drives weight
+// and horsepower up and MPG down; a latent "luxury" factor drives horsepower
+// and annual cost up; year is weakly independent. In score space lower is
+// better, so e.g. a fuel-efficient car has a small mpg *score*.
+func VehicleObjects(n int, rng *rand.Rand) []vec.Vector {
+	if n <= 0 {
+		n = VehicleSize
+	}
+	out := make([]vec.Vector, n)
+	for i := range out {
+		size := rng.Float64()
+		luxury := rng.Float64()
+		noise := func(s float64) float64 { return normalish(rng) * s }
+		year := clamp01(rng.Float64())
+		weight := clamp01(0.75*size + 0.1*luxury + noise(0.08))
+		horsepower := clamp01(1 - (0.5*size + 0.45*luxury + noise(0.08))) // more hp = better score (lower)
+		mpg := clamp01(0.6*size + 0.25*luxury + noise(0.1))               // heavy/luxury cars burn more
+		cost := clamp01(0.35*size + 0.55*luxury + noise(0.08))
+		out[i] = vec.Vector{year, weight, horsepower, mpg, cost}
+	}
+	return out
+}
+
+// HouseObjects synthesises n household records (n ≤ 0 selects the full
+// HouseSize). House value, income and mortgage payment are strongly
+// positively correlated; household size is weakly correlated with income.
+func HouseObjects(n int, rng *rand.Rand) []vec.Vector {
+	if n <= 0 {
+		n = HouseSize
+	}
+	out := make([]vec.Vector, n)
+	for i := range out {
+		wealth := peakedRand(rng)
+		noise := func(s float64) float64 { return normalish(rng) * s }
+		value := clamp01(0.85*wealth + noise(0.1))
+		income := clamp01(0.8*wealth + noise(0.12))
+		persons := clamp01(0.3*wealth + 0.7*rng.Float64())
+		mortgage := clamp01(0.75*value + noise(0.1))
+		out[i] = vec.Vector{value, income, persons, mortgage}
+	}
+	return out
+}
+
+// Correlation computes the Pearson correlation between two attribute columns
+// of an object set; used by tests to pin the stand-ins' structure.
+func Correlation(objs []vec.Vector, a, b int) float64 {
+	n := float64(len(objs))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for _, o := range objs {
+		ma += o[a]
+		mb += o[b]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for _, o := range objs {
+		da, db := o[a]-ma, o[b]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

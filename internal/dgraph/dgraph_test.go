@@ -1,0 +1,95 @@
+package dgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+func randVec(rng *rand.Rand, d int) vec.Vector {
+	v := make(vec.Vector, d)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func TestTopKMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(200)
+		d := 2 + rng.Intn(3)
+		coeffs := make([]vec.Vector, n)
+		for i := range coeffs {
+			coeffs[i] = randVec(rng, d)
+		}
+		g := Build(coeffs)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		w, err := topk.NewWorkload(topk.LinearSpace{D: d}, coeffs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 5; probe++ {
+			q := randVec(rng, d)
+			k := 1 + rng.Intn(10)
+			got := g.TopK(q, k)
+			want := w.Evaluate(topk.Query{K: k, Point: q})
+			if len(got) != len(want.Ordered) {
+				t.Fatalf("trial %d: got %d results want %d", trial, len(got), len(want.Ordered))
+			}
+			for i := range got {
+				if got[i] != want.Ordered[i] {
+					t.Fatalf("trial %d rank %d: graph %d scan %d", trial, i, got[i], want.Ordered[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	g := Build(nil)
+	if got := g.TopK(vec.Vector{1}, 3); got != nil {
+		t.Errorf("empty graph: %v", got)
+	}
+	g = Build([]vec.Vector{{0.5, 0.5}})
+	if got := g.TopK(vec.Vector{1, 1}, 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	if got := g.TopK(vec.Vector{1, 1}, 5); len(got) != 1 {
+		t.Errorf("k>n: %v", got)
+	}
+}
+
+func TestDuplicateObjects(t *testing.T) {
+	coeffs := []vec.Vector{{0.5, 0.5}, {0.5, 0.5}, {0.2, 0.8}}
+	g := Build(coeffs)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := g.TopK(vec.Vector{1, 0}, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != 2 { // 0.2 beats 0.5 on weight (1,0)
+		t.Errorf("order %v", got)
+	}
+}
+
+func TestSizeBytesAndLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	coeffs := make([]vec.Vector, 100)
+	for i := range coeffs {
+		coeffs[i] = randVec(rng, 3)
+	}
+	g := Build(coeffs)
+	if g.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+	if g.Layers() < 2 {
+		t.Errorf("Layers=%d, expected several for random data", g.Layers())
+	}
+}

@@ -1,0 +1,370 @@
+// Package ese implements Efficient Strategy Evaluation (Algorithm 2 of the
+// paper): computing H(p_i + s), the number of top-k queries an improved
+// object hits, without re-evaluating every query. For each competitor
+// function f_l, the area between the old intersection hyperplane (Eq. 2) and
+// the post-improvement one (Eq. 3) — the affected subspace — is retrieved
+// from the query R-tree; queries inside it have the relative order of f_i and
+// f_l switched (Fact 2), which adjusts the target's rank. Ranks are shared
+// per subdomain, so at most one evaluation happens per subdomain, exactly as
+// the paper prescribes.
+package ese
+
+import (
+	"fmt"
+
+	"iq/internal/rtree"
+	"iq/internal/subdomain"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// Evaluator computes hit counts for improvement strategies applied to one
+// target object. It caches per-subdomain target ranks (one evaluation per
+// subdomain) and the base hit count, both reused across the many strategy
+// candidates Algorithms 3 and 4 probe.
+type Evaluator struct {
+	idx    *subdomain.Index
+	w      *topk.Workload
+	target int
+
+	// rankBySub caches the target's candidate-restricted rank per
+	// subdomain. Sharing one rank per subdomain is valid only when the
+	// target is itself a candidate: the subdomain invariant fixes the
+	// ordering of candidates, and a candidate target's position within it.
+	rankBySub map[int]int
+	// rankByQuery holds per-query base ranks for NON-candidate targets,
+	// whose position among the candidates may differ between queries of
+	// one subdomain (their intersections are not subdomain boundaries).
+	rankByQuery []int
+	baseHits    int
+	baseSet     map[int]bool // query indices hit by the unimproved target
+
+	// pairNormal caches coeff(target) − coeff(l) per competitor l: the
+	// normal of the old intersection hyperplane (Eq. 2), fixed across the
+	// many strategies one evaluator probes.
+	pairNormal map[int]vec.Vector
+	// scratch buffers avoid per-pair allocations in the hot path.
+	scratchNew vec.Vector
+	// scratchNewCoeff references the improved coefficient vector during
+	// one computeDeltas pass.
+	scratchNewCoeff vec.Vector
+	domainLo        vec.Vector
+	domainHi        vec.Vector
+	// deltaBuf[j] accumulates the target's rank change at query j during
+	// one evaluation; touched lists the non-zero entries for cheap reset.
+	deltaBuf []int32
+	touched  []int
+
+	// stats for the benchmark harness
+	slabSearches   int
+	queriesTouched int
+}
+
+// New builds an evaluator for the given target object index.
+func New(idx *subdomain.Index, target int) (*Evaluator, error) {
+	w := idx.Workload()
+	if target < 0 || target >= w.NumObjects() {
+		return nil, fmt.Errorf("ese: target %d out of range", target)
+	}
+	if w.IsRemoved(target) {
+		return nil, fmt.Errorf("ese: target %d is removed", target)
+	}
+	e := &Evaluator{idx: idx, w: w, target: target, rankBySub: map[int]int{}}
+	e.baseSet = map[int]bool{}
+	e.pairNormal = make(map[int]vec.Vector, len(idx.Candidates()))
+	e.deltaBuf = make([]int32, w.NumQueries())
+	dim := w.Space().QueryDim()
+	e.scratchNew = make(vec.Vector, dim)
+	// Query-domain bounding box for the slab prechecks.
+	e.domainLo = make(vec.Vector, dim)
+	e.domainHi = make(vec.Vector, dim)
+	for i := 0; i < dim; i++ {
+		e.domainLo[i], e.domainHi[i] = 1e308, -1e308
+	}
+	for j := 0; j < w.NumQueries(); j++ {
+		p := w.Query(j).Point
+		e.domainLo = vec.Min(e.domainLo, p)
+		e.domainHi = vec.Max(e.domainHi, p)
+	}
+	if !idx.IsCandidate(target) {
+		e.rankByQuery = make([]int, w.NumQueries())
+	}
+	for j := 0; j < w.NumQueries(); j++ {
+		s := idx.SubdomainOf(j)
+		if s == nil {
+			if e.rankByQuery != nil {
+				e.rankByQuery[j] = -1
+			}
+			continue
+		}
+		var rank int
+		if e.rankByQuery == nil {
+			rank = e.rankFor(s, w.Coeff(target))
+		} else {
+			rank = w.RankAmong(idx.Candidates(), w.Coeff(target), target, w.Query(j).Point)
+			e.rankByQuery[j] = rank
+		}
+		if rank <= w.Query(j).K {
+			e.baseHits++
+			e.baseSet[j] = true
+		}
+	}
+	return e, nil
+}
+
+// baseRank returns the target's pre-improvement candidate rank at query j.
+func (e *Evaluator) baseRank(j int) int {
+	if e.rankByQuery != nil {
+		return e.rankByQuery[j]
+	}
+	s := e.idx.SubdomainOf(j)
+	if s == nil {
+		return -1
+	}
+	return e.rankBySub[s.ID] // filled during New
+}
+
+// Target returns the target object index.
+func (e *Evaluator) Target() int { return e.target }
+
+// BaseHits returns H(p_i), the hit count of the unimproved target.
+func (e *Evaluator) BaseHits() int { return e.baseHits }
+
+// BaseHit reports whether the unimproved target hits query j.
+func (e *Evaluator) BaseHit(j int) bool { return e.baseSet[j] }
+
+// rankFor returns (and caches) the target-coefficient rank within subdomain
+// s, counted among the candidate objects at the representative query point —
+// the "evaluate at most one query per subdomain" step of Algorithm 2.
+func (e *Evaluator) rankFor(s *subdomain.Subdomain, coeff vec.Vector) int {
+	if r, ok := e.rankBySub[s.ID]; ok {
+		return r
+	}
+	rep := e.w.Query(s.Representative()).Point
+	r := e.w.RankAmong(e.idx.Candidates(), coeff, e.target, rep)
+	e.rankBySub[s.ID] = r
+	return r
+}
+
+// Hits computes H(p_i + s) for a strategy expressed in raw attribute space.
+func (e *Evaluator) Hits(s vec.Vector) (int, error) {
+	attrs := vec.Add(e.w.Attrs(e.target), s)
+	coeff, err := e.w.Space().Embed(attrs)
+	if err != nil {
+		return 0, fmt.Errorf("ese: embedding improved target: %w", err)
+	}
+	return e.HitsWithCoeff(coeff), nil
+}
+
+// HitsWithCoeff computes the hit count for a target whose embedded
+// coefficient vector has become newCoeff. This is Algorithm 2's core: find
+// the affected subspaces against every intersecting competitor, collect the
+// rank switches, and patch the cached per-subdomain ranks.
+func (e *Evaluator) HitsWithCoeff(newCoeff vec.Vector) int {
+	oldCoeff := e.w.Coeff(e.target)
+	if vec.Equal(oldCoeff, newCoeff) {
+		return e.baseHits
+	}
+	touched := e.computeDeltas(newCoeff)
+	// H(p_i + s) = baseHits adjusted by the queries whose hit status flips
+	// (Fact 1: queries outside every affected subspace keep their result).
+	hits := e.baseHits
+	for _, j := range touched {
+		d := int(e.deltaBuf[j])
+		if d == 0 {
+			continue
+		}
+		// A query can appear twice in touched when its delta crossed zero
+		// mid-collection; zeroing after consumption keeps it idempotent.
+		e.deltaBuf[j] = 0
+		rank := e.baseRank(j)
+		if rank < 0 {
+			continue
+		}
+		k := e.w.Query(j).K
+		before := rank <= k
+		after := rank+d <= k
+		if !before && after {
+			hits++
+		} else if before && !after {
+			hits--
+		}
+	}
+	e.queriesTouched += len(touched)
+	e.resetDeltas()
+	return hits
+}
+
+// computeDeltas fills deltaBuf with the target's per-query rank changes and
+// returns the touched query indices. Callers must resetDeltas afterwards.
+func (e *Evaluator) computeDeltas(newCoeff vec.Vector) []int {
+	tree := e.idx.Tree()
+	e.scratchNewCoeff = newCoeff
+	e.touched = e.touched[:0]
+	for _, l := range e.idx.Candidates() {
+		if l == e.target || e.w.IsRemoved(l) {
+			continue
+		}
+		e.collectSwitches(tree, l)
+	}
+	return e.touched
+}
+
+func (e *Evaluator) resetDeltas() {
+	for _, j := range e.touched {
+		e.deltaBuf[j] = 0
+	}
+	e.touched = e.touched[:0]
+}
+
+// HitSet returns the indices of queries hit after moving the target to
+// newCoeff; used by the combinatorial (multi-target) algorithms which must
+// de-duplicate hits across targets.
+func (e *Evaluator) HitSet(newCoeff vec.Vector) map[int]bool {
+	oldCoeff := e.w.Coeff(e.target)
+	out := make(map[int]bool, e.baseHits)
+	for j := range e.baseSet {
+		out[j] = true
+	}
+	if vec.Equal(oldCoeff, newCoeff) {
+		return out
+	}
+	touched := e.computeDeltas(newCoeff)
+	defer e.resetDeltas()
+	for _, j := range touched {
+		d := int(e.deltaBuf[j])
+		if d == 0 {
+			continue
+		}
+		e.deltaBuf[j] = 0 // idempotent under duplicate touched entries
+		rank := e.baseRank(j)
+		if rank < 0 {
+			continue
+		}
+		k := e.w.Query(j).K
+		if rank+d <= k {
+			out[j] = true
+		} else {
+			delete(out, j)
+		}
+	}
+	return out
+}
+
+// pairNormalFor returns (caching) the old intersection normal for pair
+// (target, l): coeff(target) − coeff(l).
+func (e *Evaluator) pairNormalFor(l int) vec.Vector {
+	if n, ok := e.pairNormal[l]; ok {
+		return n
+	}
+	n := vec.Sub(e.w.Coeff(e.target), e.w.Coeff(l))
+	e.pairNormal[l] = n
+	return n
+}
+
+// dotRange returns the min and max of n·q over the box [lo,hi].
+func dotRange(n, lo, hi vec.Vector) (minV, maxV float64) {
+	for i, x := range n {
+		if x > 0 {
+			minV += x * lo[i]
+			maxV += x * hi[i]
+		} else {
+			minV += x * hi[i]
+			maxV += x * lo[i]
+		}
+	}
+	return minV, maxV
+}
+
+// slabsMayIntersectBox is the allocation-free root/node precheck: can any
+// point of the box switch sides between the old and new planes? Matches the
+// conservative semantics of geom.SlabIntersectsBox (epsilon-inclusive).
+func slabsMayIntersectBox(oldN, newN, lo, hi vec.Vector) bool {
+	const eps = 1e-9
+	oldMin, oldMax := dotRange(oldN, lo, hi)
+	newMin, newMax := dotRange(newN, lo, hi)
+	// Slab A: old ≤ 0 ∧ new > 0 — needs oldMin ≤ eps and newMax ≥ −eps.
+	if oldMin <= eps && newMax >= -eps {
+		return true
+	}
+	// Slab B: old > 0 ∧ new ≤ 0.
+	return oldMax >= -eps && newMin <= eps
+}
+
+// collectSwitches finds the queries whose (target, l) order flips and
+// accumulates rank deltas into deltaBuf. Both movement directions are
+// handled: a strategy may improve the target past some competitors while
+// falling behind others. The hot path avoids allocations (cached pair
+// normals, scratch buffers) and decides order flips from the signs of the
+// two intersection-plane normals — two dot products per visited query.
+func (e *Evaluator) collectSwitches(tree *rtree.Tree, l int) {
+	oldN := e.pairNormalFor(l)
+	lCoeff := e.w.Coeff(l)
+	newN := e.scratchNew
+	moved := false
+	for i := range newN {
+		// newCoeff − lCoeff directly (not oldN + delta): keeps the sign
+		// arithmetic as close as possible to scalar score comparisons.
+		newN[i] = e.scratchNewCoeff[i] - lCoeff[i]
+		if newN[i] != oldN[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		return // no movement relative to l
+	}
+	// Root precheck against the query-domain box: the common case for
+	// small strategies is that the pair's relative order is fixed over the
+	// whole domain both before and after, and no tree walk is needed.
+	if !slabsMayIntersectBox(oldN, newN, e.domainLo, e.domainHi) {
+		return
+	}
+	e.slabSearches++
+	target := e.target
+	tieBreak := target < l // order on exact score ties
+	boxPred := func(lo, hi vec.Vector) bool {
+		return slabsMayIntersectBox(oldN, newN, lo, hi)
+	}
+	visit := func(entry rtree.Entry) {
+		q := entry.Point
+		oldDiff := vec.Dot(oldN, q)
+		oldBetter := oldDiff < 0 || (oldDiff == 0 && tieBreak)
+		newDiff := vec.Dot(newN, q)
+		newBetter := newDiff < 0 || (newDiff == 0 && tieBreak)
+		if oldBetter == newBetter {
+			return
+		}
+		j := entry.Key
+		if e.deltaBuf[j] == 0 {
+			e.touched = append(e.touched, j)
+		}
+		if newBetter {
+			e.deltaBuf[j]-- // target overtakes l: rank improves
+		} else {
+			e.deltaBuf[j]++ // target falls behind l
+		}
+	}
+	tree.SearchFunc(boxPred, alwaysTrue, visit)
+}
+
+func alwaysTrue(rtree.Entry) bool { return true }
+
+// Stats reports evaluator-side work counters.
+type Stats struct {
+	SlabSearches   int
+	QueriesTouched int
+	RanksCached    int
+}
+
+// Stats returns the accumulated counters.
+func (e *Evaluator) Stats() Stats {
+	ranks := len(e.rankBySub)
+	if e.rankByQuery != nil {
+		ranks = len(e.rankByQuery)
+	}
+	return Stats{
+		SlabSearches:   e.slabSearches,
+		QueriesTouched: e.queriesTouched,
+		RanksCached:    ranks,
+	}
+}

@@ -1,0 +1,239 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LinearTerm is one wᵢ·gᵢ(attrs) term of a linearised utility function: the
+// weight variable name and the attribute-only expression that becomes an
+// augmented attribute (Section 5.2 of the paper). A term with Weight == ""
+// is a constant contribution g(attrs) with no weight factor.
+type LinearTerm struct {
+	Weight   string
+	AttrExpr Node
+}
+
+// Linearization is the result of decomposing a utility expression into
+// Σ wᵢ·gᵢ(attrs) + c form. The paper's Equation 20→21 transformation: each
+// gᵢ becomes augmented attribute i, computed on the fly from the original
+// attributes.
+type Linearization struct {
+	Terms []LinearTerm
+	// Const is the expression-independent constant (from literal-only terms).
+	Const float64
+}
+
+// Linearize decomposes the expression into weighted attribute terms.
+// isWeight classifies a variable name as a query weight (the function input);
+// everything else is treated as an object attribute (a function coefficient,
+// in the paper's object-as-function view). It returns an error when the
+// expression is not a sum of {constant × weight × attr-expression} products —
+// e.g. when a weight appears inside sqrt, in a denominator with attributes,
+// or two weights are multiplied together.
+func Linearize(n Node, isWeight func(string) bool) (*Linearization, error) {
+	terms, err := splitSum(n, false)
+	if err != nil {
+		return nil, err
+	}
+	out := &Linearization{}
+	for _, t := range terms {
+		lt, c, err := analyzeProduct(t.node, isWeight)
+		if err != nil {
+			return nil, err
+		}
+		if t.neg {
+			if lt != nil {
+				lt.AttrExpr = Unary{X: lt.AttrExpr}
+			}
+			c = -c
+		}
+		if lt != nil {
+			out.Terms = append(out.Terms, *lt)
+		} else {
+			out.Const += c
+		}
+	}
+	// Merge terms sharing a weight by summing their attribute expressions,
+	// so the augmented attribute count equals the distinct weight count.
+	merged := map[string]Node{}
+	var order []string
+	for _, t := range out.Terms {
+		if prev, ok := merged[t.Weight]; ok {
+			merged[t.Weight] = Binary{Op: '+', L: prev, R: t.AttrExpr}
+		} else {
+			merged[t.Weight] = t.AttrExpr
+			order = append(order, t.Weight)
+		}
+	}
+	sort.Strings(order)
+	out.Terms = out.Terms[:0]
+	for _, w := range order {
+		out.Terms = append(out.Terms, LinearTerm{Weight: w, AttrExpr: merged[w]})
+	}
+	return out, nil
+}
+
+type signedNode struct {
+	node Node
+	neg  bool
+}
+
+// splitSum flattens an expression into its top-level additive terms.
+func splitSum(n Node, neg bool) ([]signedNode, error) {
+	switch t := n.(type) {
+	case Binary:
+		if t.Op == '+' {
+			l, err := splitSum(t.L, neg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := splitSum(t.R, neg)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		}
+		if t.Op == '-' {
+			l, err := splitSum(t.L, neg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := splitSum(t.R, !neg)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		}
+	case Unary:
+		return splitSum(t.X, !neg)
+	}
+	return []signedNode{{node: n, neg: neg}}, nil
+}
+
+// analyzeProduct checks that a single additive term is (constant ×) weight ×
+// attr-expression and returns the corresponding LinearTerm. A term without
+// any weight variable returns (nil, constantValue) when it is a pure literal,
+// or a LinearTerm with Weight=="" when it references attributes (a
+// weight-free attribute offset — still linear, folded into the score as a
+// fixed augmented attribute with implicit weight 1... we reject this case to
+// keep the augmented query vector well-defined).
+func analyzeProduct(n Node, isWeight func(string) bool) (*LinearTerm, float64, error) {
+	factors, err := splitProduct(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	var weight string
+	var attrFactors []Node
+	constant := 1.0
+	sawConst := true
+	for _, f := range factors {
+		vars := VarsOf(f.node)
+		var weightVars []string
+		attrOnly := true
+		for v := range vars {
+			if isWeight(v) {
+				weightVars = append(weightVars, v)
+			} else {
+				_ = v
+			}
+		}
+		switch {
+		case len(weightVars) == 0 && len(vars) == 0:
+			// Pure literal factor: fold into constant.
+			v, evalErr := f.node.Eval(nil)
+			if evalErr != nil {
+				return nil, 0, evalErr
+			}
+			if f.inv {
+				if v == 0 {
+					return nil, 0, fmt.Errorf("expr: linearize: division by zero constant")
+				}
+				v = 1 / v
+			}
+			constant *= v
+		case len(weightVars) == 0:
+			// Attribute-only factor.
+			node := f.node
+			if f.inv {
+				node = Binary{Op: '/', L: Num{Value: 1}, R: node}
+			}
+			attrFactors = append(attrFactors, node)
+			sawConst = false
+		case len(weightVars) == 1 && attrOnlyVar(f.node, weightVars[0]):
+			if f.inv {
+				return nil, 0, fmt.Errorf("expr: linearize: weight %s appears in a denominator", weightVars[0])
+			}
+			if weight != "" {
+				return nil, 0, fmt.Errorf("expr: linearize: term multiplies weights %s and %s", weight, weightVars[0])
+			}
+			weight = weightVars[0]
+			_ = attrOnly
+		default:
+			return nil, 0, fmt.Errorf("expr: linearize: factor %q mixes weights with other variables non-linearly", f.node.String())
+		}
+	}
+	if weight == "" {
+		if !sawConst || len(attrFactors) > 0 {
+			return nil, 0, fmt.Errorf("expr: linearize: term %q has attributes but no weight factor", n.String())
+		}
+		return nil, constant, nil
+	}
+	var attrExpr Node = Num{Value: constant}
+	for _, f := range attrFactors {
+		attrExpr = Binary{Op: '*', L: attrExpr, R: f}
+	}
+	return &LinearTerm{Weight: weight, AttrExpr: attrExpr}, 0, nil
+}
+
+// attrOnlyVar reports whether node is exactly the bare variable (possibly
+// the only legal weight occurrence: a linear factor).
+func attrOnlyVar(n Node, name string) bool {
+	v, ok := n.(Var)
+	return ok && v.Name == name
+}
+
+type productFactor struct {
+	node Node
+	inv  bool // factor appears in a denominator
+}
+
+// splitProduct flattens a term into multiplicative factors, tracking
+// denominators.
+func splitProduct(n Node) ([]productFactor, error) {
+	switch t := n.(type) {
+	case Binary:
+		switch t.Op {
+		case '*':
+			l, err := splitProduct(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := splitProduct(t.R)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		case '/':
+			l, err := splitProduct(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := splitProduct(t.R)
+			if err != nil {
+				return nil, err
+			}
+			for i := range r {
+				r[i].inv = !r[i].inv
+			}
+			return append(l, r...), nil
+		}
+	case Unary:
+		fs, err := splitProduct(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return append(fs, productFactor{node: Num{Value: -1}}), nil
+	}
+	return []productFactor{{node: n}}, nil
+}

@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"sort"
+
+	"iq/internal/vec"
+)
+
+// Dominance utilities. The library scores objects lower-is-better, so object
+// a dominates object b when a is ≤ b on every attribute and < on at least
+// one: no non-negative linear utility can then rank b above a. This mirrors
+// the dominance relationship exploited by the paper's reference [26] and is
+// what lets the subdomain index restrict itself to the k-skyband (see
+// DESIGN.md, "Arrangement scale").
+
+// DominanceCount returns, for every point, how many other points dominate it
+// (lower-is-better semantics). The simple O(n²·d) algorithm is used for the
+// baseline path; KSkyband uses a sorted sweep with early exit for speed.
+func DominanceCount(points []vec.Vector) []int {
+	counts := make([]int, len(points))
+	for i := range points {
+		for j := range points {
+			if i != j && vec.Dominates(points[j], points[i]) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// KSkyband returns the indices of all points dominated by fewer than k other
+// points. Only those points can appear in the top-k of any query with
+// non-negative weights, so intersections among them are the only ones that
+// can move an object into or out of a top-k result.
+//
+// The implementation sorts by attribute sum ascending (a point can only be
+// dominated by points with smaller or equal sum under lower-is-better) and
+// stops counting a point's dominators at k, giving O(n·s·d) where s is the
+// skyband size for typical inputs.
+func KSkyband(points []vec.Vector, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	n := len(points)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sums := make([]float64, n)
+	for i, p := range points {
+		sums[i] = vec.Sum(p)
+	}
+	sort.Slice(order, func(a, b int) bool { return sums[order[a]] < sums[order[b]] })
+
+	var band []int // indices, in sum order, that made the skyband so far
+	var out []int
+	for _, idx := range order {
+		p := points[idx]
+		dominators := 0
+		for _, b := range band {
+			if vec.Dominates(points[b], p) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			band = append(band, idx)
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConvexHull2 computes the convex hull of 2-D points using Andrew's monotone
+// chain, returning hull vertices in counter-clockwise order. Used by the
+// layer-based comparisons and as a building block for the dominant-graph
+// baseline's layer peeling in two dimensions.
+func ConvexHull2(pts []Point2) []Point2 {
+	n := len(pts)
+	if n < 3 {
+		out := make([]Point2, n)
+		copy(out, pts)
+		return out
+	}
+	sorted := make([]Point2, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+
+	hull := make([]Point2, 0, 2*n)
+	// Lower hull.
+	for _, p := range sorted {
+		for len(hull) >= 2 && crossOrient(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := sorted[i]
+		for len(hull) >= lower && crossOrient(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+func crossOrient(o, a, b Point2) float64 {
+	return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+}
+
+// SkylineLayers peels points into dominance layers: layer 0 is the skyline
+// (no dominators), layer i+1 is the skyline after removing layers ≤ i. The
+// returned slice maps layer → point indices. This is the structure underlying
+// the dominant-graph baseline index.
+func SkylineLayers(points []vec.Vector) [][]int {
+	n := len(points)
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	left := n
+	var layers [][]int
+	for left > 0 {
+		var layer []int
+		for i := 0; i < n; i++ {
+			if !remaining[i] {
+				continue
+			}
+			dominated := false
+			for j := 0; j < n; j++ {
+				if j != i && remaining[j] && vec.Dominates(points[j], points[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				layer = append(layer, i)
+			}
+		}
+		if len(layer) == 0 {
+			// All remaining points are pairwise equal duplicates that
+			// "dominate" each other is impossible (Dominates is strict),
+			// so an empty layer means a logic error; guard against an
+			// infinite loop by flushing the rest.
+			for i := 0; i < n; i++ {
+				if remaining[i] {
+					layer = append(layer, i)
+				}
+			}
+		}
+		for _, i := range layer {
+			remaining[i] = false
+		}
+		left -= len(layer)
+		layers = append(layers, layer)
+	}
+	return layers
+}

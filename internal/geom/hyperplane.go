@@ -1,0 +1,199 @@
+// Package geom is the computational-geometry substrate of the
+// improvement-query library. It provides the hyperplane arithmetic behind the
+// paper's function-intersection index (Section 3.2), the affected-subspace
+// slabs used by Efficient Strategy Evaluation (Section 4.1), a plane-sweep
+// segment-intersection algorithm (the paper's reference [15]), convex hulls,
+// and dominance utilities (k-skyband) used to bound the arrangement size.
+package geom
+
+import (
+	"math"
+
+	"iq/internal/vec"
+)
+
+// Side identifies on which side of a hyperplane a point lies. The paper's
+// convention (Section 4.1): a query q is Above the intersection of functions
+// f_a and f_b iff f_a(q) − f_b(q) ≤ 0, i.e. points on the hyperplane count
+// as Above.
+type Side int8
+
+const (
+	// Above means f_a(q) − f_b(q) ≤ 0 for the intersection of f_a and f_b.
+	Above Side = iota
+	// Below means f_a(q) − f_b(q) > 0.
+	Below
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	if s == Above {
+		return "above"
+	}
+	return "below"
+}
+
+// Opposite returns the other side.
+func (s Side) Opposite() Side {
+	if s == Above {
+		return Below
+	}
+	return Above
+}
+
+// Hyperplane represents the set {q : Normal·q + Offset = 0} in the query
+// (weight) space. Function intersections in the linear-utility setting have
+// Offset == 0 (they pass through the origin), but the general form is kept so
+// augmented-attribute utilities with constant terms also fit.
+type Hyperplane struct {
+	Normal vec.Vector
+	Offset float64
+}
+
+// IntersectionPlane returns the hyperplane where the functions of objects a
+// and b intersect: Σ_j q_j (a_j − b_j) = 0 (the paper's Equation 2).
+func IntersectionPlane(a, b vec.Vector) Hyperplane {
+	return Hyperplane{Normal: vec.Sub(a, b)}
+}
+
+// Eval returns Normal·q + Offset.
+func (h Hyperplane) Eval(q vec.Vector) float64 {
+	return vec.Dot(h.Normal, q) + h.Offset
+}
+
+// SideOf classifies q with the paper's convention: Eval(q) ≤ 0 is Above.
+func (h Hyperplane) SideOf(q vec.Vector) Side {
+	if h.Eval(q) <= 0 {
+		return Above
+	}
+	return Below
+}
+
+// IsDegenerate reports whether the hyperplane has a (numerically) zero
+// normal, meaning the two functions coincide and no real boundary exists.
+func (h Hyperplane) IsDegenerate(eps float64) bool {
+	for _, x := range h.Normal {
+		if math.Abs(x) > eps {
+			return false
+		}
+	}
+	return math.Abs(h.Offset) <= eps
+}
+
+// Dim returns the dimensionality of the space the hyperplane lives in.
+func (h Hyperplane) Dim() int { return len(h.Normal) }
+
+// Slab is the region between two parallel-ish hyperplanes sharing a sign
+// structure: it contains exactly the points that lie on one side of Old and
+// on the other side of New. It models the paper's "affected subspace"
+// (between Equations 2 and 3): the queries whose results an improvement
+// strategy can change.
+//
+// A point q is inside the slab iff Old.SideOf(q) == OldSide and
+// New.SideOf(q) == OldSide.Opposite().
+type Slab struct {
+	Old, New Hyperplane
+	// OldSide is the side of Old a point must be on to be inside the slab.
+	OldSide Side
+}
+
+// Contains reports whether q lies inside the slab.
+func (s Slab) Contains(q vec.Vector) bool {
+	return s.Old.SideOf(q) == s.OldSide && s.New.SideOf(q) == s.OldSide.Opposite()
+}
+
+// AffectedSlabs returns the (up to two) affected subspaces created when the
+// target object's attribute vector moves from p to p+s, relative to a
+// competitor object l. Queries inside the first slab see the target move from
+// Above to Below the intersection (target gets worse relative to l there);
+// queries in the second see Below→Above (target improves past l). Slabs that
+// are empty by construction (identical hyperplanes) are omitted.
+//
+// Old plane: Σ q_j (p_j − l_j) = 0 (Eq. 2).  New plane: Σ q_j (p_j+s_j − l_j)
+// = 0 (Eq. 3).
+func AffectedSlabs(p, s, l vec.Vector) []Slab {
+	old := IntersectionPlane(p, l)
+	improved := vec.Add(p, s)
+	nw := IntersectionPlane(improved, l)
+	if vec.Equal(old.Normal, nw.Normal) {
+		return nil
+	}
+	return []Slab{
+		{Old: old, New: nw, OldSide: Above},
+		{Old: old, New: nw, OldSide: Below},
+	}
+}
+
+// BoundingBoxOfSlab returns a conservative axis-aligned bounding box of the
+// slab intersected with the domain box [lo,hi]. The result is used to prune
+// R-tree traversal: every point of the slab within the domain is inside the
+// returned box (the box may contain points outside the slab).
+//
+// The exact slab is a difference of halfspaces; computing its tight AABB is a
+// pair of linear programs. For index pruning a cheap superset suffices: we
+// intersect the domain box with the AABB of each bounding hyperplane's
+// feasible band. When the slab cannot be bounded more tightly than the domain
+// (e.g. normals with mixed signs), the domain box itself is returned.
+func BoundingBoxOfSlab(s Slab, lo, hi vec.Vector) (outLo, outHi vec.Vector, empty bool) {
+	outLo, outHi = vec.Clone(lo), vec.Clone(hi)
+	// Tighten per halfspace where the normal has a single dominant sign
+	// pattern. For halfspace n·q + c <= 0 over box [lo,hi]: feasible iff
+	// min over box of n·q + c <= 0; per-axis bounds can be tightened only
+	// in 1-D-effective cases, so we just test emptiness here.
+	for _, hs := range s.halfspaces() {
+		if !halfspaceIntersectsBox(hs, outLo, outHi) {
+			return nil, nil, true
+		}
+	}
+	return outLo, outHi, false
+}
+
+// halfspace is n·q + c <= 0.
+type halfspace struct {
+	n vec.Vector
+	c float64
+}
+
+// halfspaces returns the two halfspace constraints describing the slab.
+func (s Slab) halfspaces() []halfspace {
+	// Above means Eval(q) <= 0, Below means Eval(q) > 0 which we relax to
+	// −Eval(q) < 0, i.e. −Eval(q) <= 0 for box-pruning purposes.
+	mk := func(h Hyperplane, side Side) halfspace {
+		if side == Above {
+			return halfspace{n: vec.Clone(h.Normal), c: h.Offset}
+		}
+		return halfspace{n: vec.Scale(h.Normal, -1), c: -h.Offset}
+	}
+	return []halfspace{
+		mk(s.Old, s.OldSide),
+		mk(s.New, s.OldSide.Opposite()),
+	}
+}
+
+// halfspaceIntersectsBox reports whether {q : n·q + c <= 0} intersects the
+// axis-aligned box [lo,hi]. The minimum of n·q over a box is attained at a
+// corner choosing lo where n>0 and hi where n<0.
+func halfspaceIntersectsBox(h halfspace, lo, hi vec.Vector) bool {
+	minVal := h.c
+	for i, n := range h.n {
+		if n > 0 {
+			minVal += n * lo[i]
+		} else {
+			minVal += n * hi[i]
+		}
+	}
+	// The small slack keeps the test conservative for points exactly on a
+	// hyperplane, where rank ties break by object id rather than geometry.
+	return minVal <= 1e-9
+}
+
+// SlabIntersectsBox reports whether the slab can contain any point of the box
+// [lo,hi]. It is conservative (never returns false when a point exists).
+func SlabIntersectsBox(s Slab, lo, hi vec.Vector) bool {
+	for _, hs := range s.halfspaces() {
+		if !halfspaceIntersectsBox(hs, lo, hi) {
+			return false
+		}
+	}
+	return true
+}

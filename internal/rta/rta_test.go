@@ -1,0 +1,109 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+func randVec(rng *rand.Rand, d int) vec.Vector {
+	v := make(vec.Vector, d)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func TestHitsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, m, d := 100, 60, 3
+	attrs := make([]vec.Vector, n)
+	for i := range attrs {
+		attrs[i] = randVec(rng, d)
+	}
+	queries := make([]topk.Query, m)
+	for j := range queries {
+		queries[j] = topk.Query{ID: j, K: 1 + rng.Intn(5), Point: randVec(rng, d)}
+	}
+	w, err := topk.NewWorkload(topk.LinearSpace{D: d}, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		target := rng.Intn(n)
+		probe := randVec(rng, d)
+		got, err := e.Hits(probe, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := w.HitsExact(probe, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: RTA %d, brute force %d", trial, got, want)
+		}
+		gotSet, _ := e.HitSet(probe, target)
+		wantList, _ := w.HitSet(probe, target)
+		if len(gotSet) != len(wantList) {
+			t.Fatalf("trial %d: hit set sizes differ", trial)
+		}
+		for _, j := range wantList {
+			if !gotSet[j] {
+				t.Fatalf("trial %d: query %d missing", trial, j)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.ThresholdSkips == 0 {
+		t.Error("threshold test never pruned anything — buffer logic inert")
+	}
+	if st.FullEvaluations == 0 {
+		t.Error("no full evaluations recorded")
+	}
+}
+
+func TestRejectsNonLinearSpace(t *testing.T) {
+	space, err := topk.NewExprSpace("w1 * a^2", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := topk.NewWorkload(space, []vec.Vector{{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(w); err == nil {
+		t.Error("non-linear space accepted")
+	}
+}
+
+func TestRemovedObjectsIgnored(t *testing.T) {
+	attrs := []vec.Vector{{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}}
+	queries := []topk.Query{{ID: 0, K: 1, Point: vec.Vector{1, 1}}}
+	w, err := topk.NewWorkload(topk.LinearSpace{D: 2}, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object 1 does not hit the k=1 query while object 0 lives...
+	h, _ := e.Hits(attrs[1], 1)
+	if h != 0 {
+		t.Fatalf("hits=%d want 0", h)
+	}
+	// ...but does once object 0 is removed.
+	w.RemoveObject(0)
+	e2, _ := New(w)
+	h, _ = e2.Hits(attrs[1], 1)
+	if h != 1 {
+		t.Fatalf("after removal hits=%d want 1", h)
+	}
+}

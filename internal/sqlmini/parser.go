@@ -1,0 +1,442 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// selectStmt is a parsed SELECT statement.
+type selectStmt struct {
+	star    bool
+	columns []string
+	table   string
+	where   node
+	orderBy string
+	desc    bool
+	limit   int // -1 = no limit
+}
+
+// node is a predicate/arithmetic AST node evaluated per row.
+type node interface {
+	eval(t *Table, rowID int, row []float64) (float64, error)
+}
+
+type numNode float64
+
+func (n numNode) eval(*Table, int, []float64) (float64, error) { return float64(n), nil }
+
+type colNode string
+
+func (c colNode) eval(t *Table, rowID int, row []float64) (float64, error) {
+	idx, err := t.resolve(string(c))
+	if err != nil {
+		return 0, err
+	}
+	if idx == -1 {
+		return float64(rowID), nil
+	}
+	return row[idx], nil
+}
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (b binNode) eval(t *Table, rowID int, row []float64) (float64, error) {
+	l, err := b.l.eval(t, rowID, row)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit logical operators.
+	switch b.op {
+	case "AND":
+		if !truthy(l) {
+			return 0, nil
+		}
+		r, err := b.r.eval(t, rowID, row)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(truthy(r)), nil
+	case "OR":
+		if truthy(l) {
+			return 1, nil
+		}
+		r, err := b.r.eval(t, rowID, row)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(truthy(r)), nil
+	}
+	r, err := b.r.eval(t, rowID, row)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("sqlmini: division by zero")
+		}
+		return l / r, nil
+	case "<":
+		return boolVal(l < r), nil
+	case "<=":
+		return boolVal(l <= r), nil
+	case ">":
+		return boolVal(l > r), nil
+	case ">=":
+		return boolVal(l >= r), nil
+	case "=", "==":
+		return boolVal(l == r), nil
+	case "!=", "<>":
+		return boolVal(l != r), nil
+	}
+	return 0, fmt.Errorf("sqlmini: unknown operator %q", b.op)
+}
+
+type notNode struct{ x node }
+
+func (n notNode) eval(t *Table, rowID int, row []float64) (float64, error) {
+	v, err := n.x.eval(t, rowID, row)
+	if err != nil {
+		return 0, err
+	}
+	return boolVal(!truthy(v)), nil
+}
+
+type negNode struct{ x node }
+
+func (n negNode) eval(t *Table, rowID int, row []float64) (float64, error) {
+	v, err := n.x.eval(t, rowID, row)
+	return -v, err
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- tokenizer ---
+
+type token struct {
+	kind string // "ident", "num", "op", "kw"
+	text string
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "AND": true, "OR": true, "NOT": true, "ASC": true, "DESC": true,
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',' || c == '(' || c == ')' || c == '*' || c == '+' || c == '-' || c == '/':
+			toks = append(toks, token{kind: "op", text: string(c)})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			op := string(c)
+			if i+1 < len(src) && (src[i+1] == '=' || (c == '<' && src[i+1] == '>')) {
+				op += string(src[i+1])
+				i++
+			}
+			toks = append(toks, token{kind: "op", text: op})
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' ||
+				src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && i > start && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{kind: "num", text: src[start:i]})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: "kw", text: up})
+			} else {
+				toks = append(toks, token{kind: "ident", text: word})
+			}
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *sqlParser) peek() *token {
+	if p.pos >= len(p.toks) {
+		return nil
+	}
+	return &p.toks[p.pos]
+}
+
+func (p *sqlParser) next() *token {
+	t := p.peek()
+	if t != nil {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	t := p.next()
+	if t == nil || t.kind != "kw" || t.text != kw {
+		return fmt.Errorf("sqlmini: expected %s", kw)
+	}
+	return nil
+}
+
+func parseSelect(src string) (*selectStmt, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &selectStmt{limit: -1}
+	if t := p.peek(); t != nil && t.kind == "op" && t.text == "*" {
+		stmt.star = true
+		p.next()
+	} else {
+		for {
+			t := p.next()
+			if t == nil || t.kind != "ident" {
+				return nil, fmt.Errorf("sqlmini: expected column name")
+			}
+			stmt.columns = append(stmt.columns, t.text)
+			if n := p.peek(); n != nil && n.kind == "op" && n.text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t == nil || t.kind != "ident" {
+		return nil, fmt.Errorf("sqlmini: expected table name")
+	}
+	stmt.table = t.text
+
+	if t := p.peek(); t != nil && t.kind == "kw" && t.text == "WHERE" {
+		p.next()
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.where = w
+	}
+	if t := p.peek(); t != nil && t.kind == "kw" && t.text == "ORDER" {
+		p.next()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		c := p.next()
+		if c == nil || c.kind != "ident" {
+			return nil, fmt.Errorf("sqlmini: expected ORDER BY column")
+		}
+		stmt.orderBy = c.text
+		if t := p.peek(); t != nil && t.kind == "kw" && (t.text == "ASC" || t.text == "DESC") {
+			stmt.desc = t.text == "DESC"
+			p.next()
+		}
+	}
+	if t := p.peek(); t != nil && t.kind == "kw" && t.text == "LIMIT" {
+		p.next()
+		n := p.next()
+		if n == nil || n.kind != "num" {
+			return nil, fmt.Errorf("sqlmini: expected LIMIT count")
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("sqlmini: bad LIMIT %q", n.text)
+		}
+		stmt.limit = v
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("sqlmini: unexpected trailing tokens starting at %q", p.toks[p.pos].text)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == nil || t.kind != "kw" || t.text != "OR" {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: "OR", l: left, r: right}
+	}
+}
+
+func (p *sqlParser) parseAnd() (node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == nil || t.kind != "kw" || t.text != "AND" {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: "AND", l: left, r: right}
+	}
+}
+
+func (p *sqlParser) parseNot() (node, error) {
+	if t := p.peek(); t != nil && t.kind == "kw" && t.text == "NOT" {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{x: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sqlParser) parseComparison() (node, error) {
+	left, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t != nil && t.kind == "op" {
+		switch t.text {
+		case "<", "<=", ">", ">=", "=", "==", "!=", "<>":
+			p.next()
+			right, err := p.parseArith()
+			if err != nil {
+				return nil, err
+			}
+			return binNode{op: t.text, l: left, r: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseArith() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == nil || t.kind != "op" || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: t.text, l: left, r: right}
+	}
+}
+
+func (p *sqlParser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == nil || t.kind != "op" || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: t.text, l: left, r: right}
+	}
+}
+
+func (p *sqlParser) parseUnary() (node, error) {
+	t := p.peek()
+	if t != nil && t.kind == "op" && t.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *sqlParser) parsePrimary() (node, error) {
+	t := p.next()
+	if t == nil {
+		return nil, fmt.Errorf("sqlmini: unexpected end of predicate")
+	}
+	switch {
+	case t.kind == "num":
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: bad number %q", t.text)
+		}
+		return numNode(v), nil
+	case t.kind == "ident":
+		return colNode(t.text), nil
+	case t.kind == "op" && t.text == "(":
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		c := p.next()
+		if c == nil || c.kind != "op" || c.text != ")" {
+			return nil, fmt.Errorf("sqlmini: missing )")
+		}
+		return inner, nil
+	}
+	return nil, fmt.Errorf("sqlmini: unexpected token %q", t.text)
+}

@@ -1,0 +1,213 @@
+// Package sqlmini is a minimal in-memory relational engine with a SQL SELECT
+// subset. It is the repository's stand-in for the commercial DBMS the
+// paper's analytic tool integrates with: the tool lets users pick target
+// objects "manually ... or via an SQL select statement", and this package
+// provides exactly that code path for the REPL (cmd/iqtool) and the
+// examples.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT */col[, col...] FROM table
+//	  [WHERE predicate]           -- comparisons, arithmetic, AND/OR/NOT
+//	  [ORDER BY col [ASC|DESC]]
+//	  [LIMIT n]
+//
+// Every table has an implicit `id` column holding the row index, which is
+// how SELECT results map back to dataset object indices.
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is an in-memory relation over float64 columns.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]float64
+
+	colIndex map[string]int
+}
+
+// DB is a set of named tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// Create registers a new table. Column names must be unique and must not be
+// "id" (reserved).
+func (db *DB) Create(name string, cols []string) (*Table, error) {
+	lname := strings.ToLower(name)
+	if _, exists := db.tables[lname]; exists {
+		return nil, fmt.Errorf("sqlmini: table %q already exists", name)
+	}
+	t := &Table{Name: name, Columns: cols, colIndex: map[string]int{}}
+	for i, c := range cols {
+		lc := strings.ToLower(c)
+		if lc == "id" {
+			return nil, errors.New(`sqlmini: column name "id" is reserved`)
+		}
+		if _, dup := t.colIndex[lc]; dup {
+			return nil, fmt.Errorf("sqlmini: duplicate column %q", c)
+		}
+		t.colIndex[lc] = i
+	}
+	db.tables[lname] = t
+	return t, nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Insert appends a row and returns its id (row index).
+func (t *Table) Insert(row []float64) (int, error) {
+	if len(row) != len(t.Columns) {
+		return 0, fmt.Errorf("sqlmini: row has %d values, table %q has %d columns",
+			len(row), t.Name, len(t.Columns))
+	}
+	r := make([]float64, len(row))
+	copy(r, row)
+	t.Rows = append(t.Rows, r)
+	return len(t.Rows) - 1, nil
+}
+
+// ResultSet is a query answer. RowIDs holds the originating row index of
+// each result row, which callers use to select target objects.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]float64
+	RowIDs  []int
+}
+
+// Select parses and executes a SELECT statement.
+func (db *DB) Select(query string) (*ResultSet, error) {
+	stmt, err := parseSelect(query)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := db.Table(stmt.table)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", stmt.table)
+	}
+
+	// Resolve projection columns.
+	var projNames []string
+	var projIdx []int // -1 = id
+	if stmt.star {
+		projNames = append([]string{"id"}, t.Columns...)
+		projIdx = append(projIdx, -1)
+		for i := range t.Columns {
+			projIdx = append(projIdx, i)
+		}
+	} else {
+		for _, c := range stmt.columns {
+			idx, err := t.resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			projNames = append(projNames, c)
+			projIdx = append(projIdx, idx)
+		}
+	}
+
+	// Filter.
+	var ids []int
+	for rowID, row := range t.Rows {
+		if stmt.where != nil {
+			v, err := stmt.where.eval(t, rowID, row)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		ids = append(ids, rowID)
+	}
+
+	// Order.
+	if stmt.orderBy != "" {
+		idx, err := t.resolve(stmt.orderBy)
+		if err != nil {
+			return nil, err
+		}
+		key := func(rowID int) float64 {
+			if idx == -1 {
+				return float64(rowID)
+			}
+			return t.Rows[rowID][idx]
+		}
+		sort.SliceStable(ids, func(a, b int) bool {
+			if stmt.desc {
+				return key(ids[a]) > key(ids[b])
+			}
+			return key(ids[a]) < key(ids[b])
+		})
+	}
+
+	// Limit.
+	if stmt.limit >= 0 && len(ids) > stmt.limit {
+		ids = ids[:stmt.limit]
+	}
+
+	rs := &ResultSet{Columns: projNames, RowIDs: ids}
+	for _, rowID := range ids {
+		out := make([]float64, len(projIdx))
+		for i, ci := range projIdx {
+			if ci == -1 {
+				out[i] = float64(rowID)
+			} else {
+				out[i] = t.Rows[rowID][ci]
+			}
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}
+
+// resolve maps a column name to its index; "id" resolves to -1.
+func (t *Table) resolve(name string) (int, error) {
+	l := strings.ToLower(name)
+	if l == "id" {
+		return -1, nil
+	}
+	if i, ok := t.colIndex[l]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("sqlmini: table %q has no column %q", t.Name, name)
+}
+
+func truthy(v float64) bool { return v != 0 }
+
+// String renders the result set as an aligned text table, for the REPL.
+func (rs *ResultSet) String() string {
+	var b strings.Builder
+	for i, c := range rs.Columns {
+		if i > 0 {
+			b.WriteString("\t")
+		}
+		b.WriteString(c)
+	}
+	b.WriteString("\n")
+	for _, row := range rs.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteString("\t")
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

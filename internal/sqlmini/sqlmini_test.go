@@ -1,0 +1,173 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func camerasDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	tab, err := db.Create("cameras", []string{"resolution", "storage", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]float64{
+		{10, 2, 250},
+		{12, 4, 340},
+		{8, 1, 150},
+		{20, 8, 600},
+		{15, 4, 420},
+	}
+	for _, r := range rows {
+		if _, err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSelectStar(t *testing.T) {
+	db := camerasDB(t)
+	rs, err := db.Select("SELECT * FROM cameras")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 5 || len(rs.Columns) != 4 || rs.Columns[0] != "id" {
+		t.Fatalf("rows=%d cols=%v", len(rs.Rows), rs.Columns)
+	}
+	if rs.Rows[2][0] != 2 || rs.Rows[2][3] != 150 {
+		t.Errorf("row 2 = %v", rs.Rows[2])
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := camerasDB(t)
+	rs, err := db.Select("SELECT id, price FROM cameras WHERE price < 400 AND resolution >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.RowIDs) != 2 {
+		t.Fatalf("ids=%v", rs.RowIDs)
+	}
+	got := map[int]bool{rs.RowIDs[0]: true, rs.RowIDs[1]: true}
+	if !got[0] || !got[1] {
+		t.Errorf("ids=%v want {0,1}", rs.RowIDs)
+	}
+}
+
+func TestSelectOrderLimit(t *testing.T) {
+	db := camerasDB(t)
+	rs, err := db.Select("SELECT id FROM cameras ORDER BY price DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.RowIDs) != 2 || rs.RowIDs[0] != 3 || rs.RowIDs[1] != 4 {
+		t.Errorf("ids=%v want [3 4]", rs.RowIDs)
+	}
+	// Ascending default.
+	rs, err = db.Select("SELECT id FROM cameras ORDER BY price LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowIDs[0] != 2 {
+		t.Errorf("cheapest id=%v", rs.RowIDs)
+	}
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	db := camerasDB(t)
+	// Price per megapixel below 25, or tiny storage.
+	rs, err := db.Select("SELECT id FROM cameras WHERE price / resolution < 25 OR storage = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, id := range rs.RowIDs {
+		got[id] = true
+	}
+	// price/res: 25, 28.3, 18.75, 30, 28 → id2 qualifies both ways.
+	if !got[2] || len(got) != 1 {
+		t.Errorf("ids=%v", rs.RowIDs)
+	}
+	rs, err = db.Select("SELECT id FROM cameras WHERE NOT (price > 200) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.RowIDs) != 1 || rs.RowIDs[0] != 2 {
+		t.Errorf("NOT: %v", rs.RowIDs)
+	}
+	// Arithmetic with unary minus and parens.
+	rs, err = db.Select("SELECT id FROM cameras WHERE -(price - 600) >= 0 AND id <> 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.RowIDs) != 4 {
+		t.Errorf("unary: %v", rs.RowIDs)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := camerasDB(t)
+	rs, err := db.Select("select ID from CAMERAS where PRICE < 200 order by Price asc limit 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.RowIDs) != 1 || rs.RowIDs[0] != 2 {
+		t.Errorf("ids=%v", rs.RowIDs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := camerasDB(t)
+	bad := []string{
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM nosuch",
+		"SELECT nosuchcol FROM cameras",
+		"SELECT * FROM cameras WHERE",
+		"SELECT * FROM cameras WHERE price <",
+		"SELECT * FROM cameras LIMIT x",
+		"SELECT * FROM cameras LIMIT -1",
+		"SELECT * FROM cameras WHERE (price > 1",
+		"SELECT * FROM cameras trailing",
+		"DELETE FROM cameras",
+		"SELECT * FROM cameras WHERE price @ 3",
+		"SELECT * FROM cameras ORDER BY nosuch",
+		"SELECT * FROM cameras WHERE price / 0 > 1",
+	}
+	for _, q := range bad {
+		if _, err := db.Select(q); err == nil {
+			t.Errorf("%q: expected error", q)
+		}
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Create("t", []string{"a", "a"}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := db.Create("t", []string{"id"}); err == nil {
+		t.Error("reserved column accepted")
+	}
+	if _, err := db.Create("t", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("T", []string{"b"}); err == nil {
+		t.Error("case-insensitive duplicate table accepted")
+	}
+	tab, _ := db.Table("t")
+	if _, err := tab.Insert([]float64{1, 2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestResultSetString(t *testing.T) {
+	db := camerasDB(t)
+	rs, _ := db.Select("SELECT id, price FROM cameras LIMIT 1")
+	s := rs.String()
+	if !strings.Contains(s, "id\tprice") || !strings.Contains(s, "0\t250") {
+		t.Errorf("String()=%q", s)
+	}
+}

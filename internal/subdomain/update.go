@@ -1,0 +1,361 @@
+package subdomain
+
+import (
+	"fmt"
+
+	"iq/internal/geom"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// This file implements the data-updating operations of Section 4.3.
+
+// AddQuery inserts a new top-k query into the workload and the index. Per
+// the paper's heuristic, the subdomains of the query point's nearest
+// neighbours are tried first (verified against the boundary intersections
+// and the ranking signature); only if none matches is a new subdomain
+// created.
+func (x *Index) AddQuery(q topk.Query) (int, error) {
+	j, err := x.w.AddQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	point := x.w.Query(j).Point
+	x.tree.Insert(point, j)
+	x.queryToSub = append(x.queryToSub, -1)
+
+	// Candidate subdomains from the k nearest neighbours.
+	sig := x.rankingSignature(point)
+	tried := map[int]bool{}
+	for _, nb := range x.tree.NearestNeighbors(point, 6) {
+		if nb.Entry.Key == j {
+			continue
+		}
+		subID := x.queryToSub[nb.Entry.Key]
+		if subID < 0 || tried[subID] {
+			continue
+		}
+		tried[subID] = true
+		s := x.subs[subID]
+		// Fast path: boundary-side check, as Algorithm 1 would classify.
+		if !x.matchesBoundaries(s, point) {
+			continue
+		}
+		// Sound path: the ranking signature must match the subdomain's.
+		if x.rankingSignature(x.w.Query(s.rep).Point) == sig {
+			s.Queries = append(s.Queries, j)
+			x.queryToSub[j] = subID
+			return j, nil
+		}
+	}
+	// No candidate matched: the query starts its own subdomain.
+	g := x.newGroup([]int{j}, nil)
+	x.registerSubdomain(g)
+	return j, nil
+}
+
+// matchesBoundaries checks the query point against every recorded boundary
+// intersection of the subdomain (the paper's above/below verification).
+func (x *Index) matchesBoundaries(s *Subdomain, point vec.Vector) bool {
+	for _, b := range s.Boundaries {
+		plane := intersectionOf(x.w, b.A, b.B)
+		if plane.SideOf(point) != b.Side {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveQuery removes query j from the index (the workload keeps the entry
+// but the index stops considering it; callers normally use fresh indices per
+// workload epoch). It returns an error when the query is unknown.
+func (x *Index) RemoveQuery(j int) error {
+	if j < 0 || j >= len(x.queryToSub) || x.queryToSub[j] < 0 {
+		return fmt.Errorf("subdomain: query %d not indexed", j)
+	}
+	point := x.w.Query(j).Point
+	if !x.tree.Delete(point, j) {
+		return fmt.Errorf("subdomain: query %d missing from R-tree", j)
+	}
+	subID := x.queryToSub[j]
+	s := x.subs[subID]
+	for i, q := range s.Queries {
+		if q == j {
+			s.Queries = append(s.Queries[:i], s.Queries[i+1:]...)
+			break
+		}
+	}
+	x.queryToSub[j] = -1
+	x.removedQ[j] = true
+	x.w.RemoveQuery(j)
+	if len(s.Queries) == 0 {
+		delete(x.subs, subID)
+		x.dropBoundaryLinks(s)
+	} else if s.rep == j {
+		s.rep = s.Queries[0]
+	}
+	return nil
+}
+
+func (x *Index) dropBoundaryLinks(s *Subdomain) {
+	for _, b := range s.Boundaries {
+		key := pairKey(b.A, b.B)
+		ids := x.boundaryIndex[key]
+		for i, id := range ids {
+			if id == s.ID {
+				x.boundaryIndex[key] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(x.boundaryIndex[key]) == 0 {
+			delete(x.boundaryIndex, key)
+		}
+	}
+}
+
+// AddObject inserts a new object into the workload and updates the index:
+// when the object enters the candidate skyband, the newly created
+// intersections (new object × existing candidates) re-partition the affected
+// subdomains, exactly as Section 4.3 describes.
+func (x *Index) AddObject(attrs vec.Vector) (int, error) {
+	id, err := x.w.AddObject(attrs)
+	if err != nil {
+		return 0, err
+	}
+	// Does the new object join the candidate set? Conservative test: count
+	// skyband-style dominators among current candidates.
+	kLimit := x.w.MaxK() + x.opts.Slack
+	dominators := 0
+	coeff := x.w.Coeff(id)
+	for _, c := range x.candidates {
+		if vec.Dominates(x.w.Coeff(c), coeff) {
+			dominators++
+			if dominators >= kLimit {
+				break
+			}
+		}
+	}
+	if dominators >= kLimit {
+		return id, nil // cannot enter any top-k; no subdomain can change
+	}
+	x.candidates = append(x.candidates, id)
+	x.candSet[id] = true
+	// New intersections involve only the new object.
+	pairs := make([][2]int, 0, len(x.candidates)-1)
+	for _, c := range x.candidates {
+		if c != id {
+			pairs = append(pairs, [2]int{c, id})
+		}
+	}
+	x.repartition(x.allIndexedQueries(), pairs)
+	return id, nil
+}
+
+// UpdateObject changes an object's attributes in place (same id), updating
+// the candidate set and re-grouping every subdomain the object's old or new
+// intersections can affect. Committing an improvement strategy to the
+// dataset goes through here.
+func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
+	if id < 0 || id >= x.w.NumObjects() || x.w.IsRemoved(id) {
+		return fmt.Errorf("subdomain: object %d not updatable", id)
+	}
+	wasCandidate := x.candSet[id]
+	if err := x.w.UpdateObject(id, attrs); err != nil {
+		return err
+	}
+	// Recompute the candidate set; remember promotions.
+	oldSet := x.candSet
+	x.candidates = x.w.Candidates(x.opts.Slack)
+	x.candSet = make(map[int]bool, len(x.candidates))
+	var promoted []int
+	for _, c := range x.candidates {
+		x.candSet[c] = true
+		if !oldSet[c] && c != id {
+			promoted = append(promoted, c)
+		}
+	}
+	// Subdomains bounded by the object's old intersections must regroup.
+	var queries []int
+	if wasCandidate {
+		affected := map[int]bool{}
+		for key, subIDs := range x.boundaryIndex {
+			if key[0] == id || key[1] == id {
+				if x.boundaryFilter.ContainsPair(key[0], key[1]) {
+					for _, subID := range subIDs {
+						affected[subID] = true
+					}
+				}
+			}
+		}
+		for subID := range affected {
+			s, ok := x.subs[subID]
+			if !ok {
+				continue
+			}
+			queries = append(queries, s.Queries...)
+			delete(x.subs, subID)
+			x.dropBoundaryLinks(s)
+		}
+	}
+	if len(queries) > 0 {
+		x.repartition(queries, nil)
+	}
+	// The object's new intersections (and any promotions) partition like a
+	// fresh object insertion.
+	var fresh []int
+	if x.candSet[id] {
+		fresh = append(fresh, id)
+	}
+	fresh = append(fresh, promoted...)
+	if len(fresh) > 0 {
+		var pairs [][2]int
+		for _, f := range fresh {
+			for _, c := range x.candidates {
+				if c != f {
+					pairs = append(pairs, pairKey(c, f))
+				}
+			}
+		}
+		x.repartition(x.allIndexedQueries(), pairs)
+	}
+	return nil
+}
+
+// RemoveObject tombstones an object. All subdomains bounded by an
+// intersection involving the object — found through the Bloom filter and the
+// boundary index, per Section 4.3 — are merged by re-grouping their queries
+// under the updated candidate set.
+func (x *Index) RemoveObject(id int) error {
+	if id < 0 || id >= x.w.NumObjects() {
+		return fmt.Errorf("subdomain: object %d out of range", id)
+	}
+	if x.w.IsRemoved(id) {
+		return fmt.Errorf("subdomain: object %d already removed", id)
+	}
+	x.w.RemoveObject(id)
+	if !x.candSet[id] {
+		return nil // never partitioned anything
+	}
+	delete(x.candSet, id)
+	for i, c := range x.candidates {
+		if c == id {
+			x.candidates = append(x.candidates[:i], x.candidates[i+1:]...)
+			break
+		}
+	}
+	// Removing a candidate can promote previously-pruned objects into the
+	// skyband; recompute the candidate set (cheap relative to a rebuild)
+	// and remember the promotions — their intersections never partitioned
+	// anything yet.
+	oldSet := x.candSet
+	x.candidates = x.w.Candidates(x.opts.Slack)
+	x.candSet = make(map[int]bool, len(x.candidates))
+	var promoted []int
+	for _, c := range x.candidates {
+		x.candSet[c] = true
+		if !oldSet[c] {
+			promoted = append(promoted, c)
+		}
+	}
+
+	// Locate affected subdomains: Bloom filter first, boundary index for
+	// the exact hit set.
+	affected := map[int]bool{}
+	for _, c := range x.candidates {
+		key := pairKey(c, id)
+		if !x.boundaryFilter.ContainsPair(key[0], key[1]) {
+			continue // definite miss
+		}
+		for _, subID := range x.boundaryIndex[key] {
+			affected[subID] = true
+		}
+	}
+	// Also any subdomain whose boundary references id with a non-candidate
+	// partner (candidate set may have changed since the boundary formed).
+	for key, subIDs := range x.boundaryIndex {
+		if key[0] == id || key[1] == id {
+			for _, subID := range subIDs {
+				affected[subID] = true
+			}
+		}
+	}
+	var queries []int
+	for subID := range affected {
+		s, ok := x.subs[subID]
+		if !ok {
+			continue
+		}
+		queries = append(queries, s.Queries...)
+		delete(x.subs, subID)
+		x.dropBoundaryLinks(s)
+	}
+	if len(queries) > 0 {
+		x.repartition(queries, nil)
+	}
+	// Promoted candidates behave like newly added objects: split all
+	// subdomains on their intersections with the other candidates.
+	if len(promoted) > 0 {
+		var pairs [][2]int
+		for _, p := range promoted {
+			for _, c := range x.candidates {
+				if c != p {
+					pairs = append(pairs, pairKey(c, p))
+				}
+			}
+		}
+		x.repartition(x.allIndexedQueries(), pairs)
+	}
+	return nil
+}
+
+// allIndexedQueries lists queries currently mapped to a subdomain.
+func (x *Index) allIndexedQueries() []int {
+	var out []int
+	for j, subID := range x.queryToSub {
+		if subID >= 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// repartition removes the given queries from their subdomains and re-runs
+// the partitioning over them (restricted to pairs when non-nil).
+func (x *Index) repartition(queries []int, pairs [][2]int) {
+	for _, j := range queries {
+		subID := x.queryToSub[j]
+		if subID < 0 {
+			continue
+		}
+		if s, ok := x.subs[subID]; ok {
+			delete(x.subs, subID)
+			x.dropBoundaryLinks(s)
+			// Pull in the sibling queries of dissolved subdomains so the
+			// group structure stays consistent.
+			for _, sib := range s.Queries {
+				x.queryToSub[sib] = -1
+			}
+		}
+		x.queryToSub[j] = -1
+	}
+	// Collect every now-orphaned query (dedup), excluding queries the user
+	// removed — they must never be resurrected into a subdomain.
+	orphan := map[int]bool{}
+	for j, subID := range x.queryToSub {
+		if subID < 0 && !x.removedQ[j] {
+			orphan[j] = true
+		}
+	}
+	var all []int
+	for j := range orphan {
+		all = append(all, j)
+	}
+	// Updates always refine: a pair-restricted split alone cannot
+	// guarantee the grouping invariant.
+	x.partitionQueries(all, pairs, true)
+}
+
+// intersectionOf rebuilds the intersection hyperplane for an object pair.
+func intersectionOf(w *topk.Workload, a, b int) geom.Hyperplane {
+	return geom.IntersectionPlane(w.Coeff(a), w.Coeff(b))
+}

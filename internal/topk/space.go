@@ -1,0 +1,245 @@
+// Package topk implements the top-k evaluation engine underneath improvement
+// queries. Following Section 3.2 of the paper, each object is interpreted as
+// a function over the query (weight) space: an object's attribute vector is
+// embedded into a coefficient vector, a query is a point q in that space, and
+// the object's ranking score is the inner product coeff·q — lower is better.
+// Spaces encapsulate the embedding: linear utilities embed identically,
+// non-linear utilities embed through Section 5.2's variable substitution, and
+// heterogeneous utility families are unified per Section 5.3 by concatenating
+// their weight spaces.
+package topk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"iq/internal/expr"
+	"iq/internal/vec"
+)
+
+// Space maps object attribute vectors into function coefficient vectors and
+// defines the dimensionality of query points.
+type Space interface {
+	// AttrDim is the dimension of raw object attribute vectors.
+	AttrDim() int
+	// QueryDim is the dimension of query points (and coefficient vectors).
+	QueryDim() int
+	// Embed converts raw attributes into the coefficient vector so that
+	// score(object, q) = Embed(attrs)·q.
+	Embed(attrs vec.Vector) (vec.Vector, error)
+	// Linear reports whether Embed is the identity, i.e. whether
+	// Embed(p+s) = Embed(p)+s. Improvement subproblems have closed forms
+	// exactly in this case.
+	Linear() bool
+}
+
+// LinearSpace is the identity embedding for linear utility functions: query
+// points are the attribute weights.
+type LinearSpace struct{ D int }
+
+// AttrDim implements Space.
+func (s LinearSpace) AttrDim() int { return s.D }
+
+// QueryDim implements Space.
+func (s LinearSpace) QueryDim() int { return s.D }
+
+// Linear implements Space.
+func (s LinearSpace) Linear() bool { return true }
+
+// Embed implements Space.
+func (s LinearSpace) Embed(attrs vec.Vector) (vec.Vector, error) {
+	if len(attrs) != s.D {
+		return nil, fmt.Errorf("topk: attrs dim %d, space dim %d", len(attrs), s.D)
+	}
+	return vec.Clone(attrs), nil
+}
+
+// ExprSpace embeds objects through a linearised utility expression
+// (Section 5.2): each wᵢ·gᵢ(attrs) term contributes the augmented attribute
+// gᵢ(attrs) as coefficient i. Query points are the weight vectors
+// (w₁,…,w_t). Augmented attributes are computed on the fly, never stored, as
+// the paper prescribes.
+type ExprSpace struct {
+	src       string
+	attrNames []string
+	weights   []string // sorted weight variable names, one per query dim
+	terms     []expr.LinearTerm
+}
+
+// Source returns the utility expression the space was built from.
+func (s *ExprSpace) Source() string { return s.src }
+
+// AttrNames returns the attribute naming the space was built with.
+func (s *ExprSpace) AttrNames() []string { return s.attrNames }
+
+// NewExprSpace linearises the utility expression source. attrNames fixes the
+// order in which raw attribute vectors map to variables; every variable in
+// the expression that is not an attribute name is treated as a query weight.
+func NewExprSpace(utilitySrc string, attrNames []string) (*ExprSpace, error) {
+	node, err := expr.Parse(utilitySrc)
+	if err != nil {
+		return nil, err
+	}
+	attrSet := make(map[string]struct{}, len(attrNames))
+	for _, a := range attrNames {
+		attrSet[a] = struct{}{}
+	}
+	isWeight := func(name string) bool {
+		_, isAttr := attrSet[name]
+		return !isAttr
+	}
+	lin, err := expr.Linearize(node, isWeight)
+	if err != nil {
+		return nil, fmt.Errorf("topk: utility %q is not linearisable: %w", utilitySrc, err)
+	}
+	if len(lin.Terms) == 0 {
+		return nil, errors.New("topk: utility has no weight terms")
+	}
+	sp := &ExprSpace{src: utilitySrc, attrNames: attrNames, terms: lin.Terms}
+	for _, t := range lin.Terms {
+		sp.weights = append(sp.weights, t.Weight)
+	}
+	return sp, nil
+}
+
+// AttrDim implements Space.
+func (s *ExprSpace) AttrDim() int { return len(s.attrNames) }
+
+// QueryDim implements Space.
+func (s *ExprSpace) QueryDim() int { return len(s.terms) }
+
+// Linear implements Space.
+func (s *ExprSpace) Linear() bool { return false }
+
+// Weights returns the weight variable names in query-point order.
+func (s *ExprSpace) Weights() []string { return s.weights }
+
+// Embed implements Space.
+func (s *ExprSpace) Embed(attrs vec.Vector) (vec.Vector, error) {
+	if len(attrs) != len(s.attrNames) {
+		return nil, fmt.Errorf("topk: attrs dim %d, space has %d attributes", len(attrs), len(s.attrNames))
+	}
+	env := make(map[string]float64, len(attrs))
+	for i, name := range s.attrNames {
+		env[name] = attrs[i]
+	}
+	out := make(vec.Vector, len(s.terms))
+	for i, t := range s.terms {
+		v, err := t.AttrExpr.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("topk: augmented attribute %d (%s): %w", i, t.Weight, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// QueryFromWeights builds a query point from a weight-name→value map.
+// Missing weights default to zero.
+func (s *ExprSpace) QueryFromWeights(w map[string]float64) vec.Vector {
+	q := make(vec.Vector, len(s.weights))
+	for i, name := range s.weights {
+		q[i] = w[name]
+	}
+	return q
+}
+
+// HeterogeneousSpace unifies several utility families into one generic
+// function (Section 5.3): the combined coefficient vector is the
+// concatenation of each family's embedding, and a query from family f has
+// non-zero weights only in block f.
+type HeterogeneousSpace struct {
+	families []Space
+	offsets  []int
+	queryDim int
+	attrDim  int
+}
+
+// NewHeterogeneousSpace combines the families; they must share the raw
+// attribute dimension.
+func NewHeterogeneousSpace(families ...Space) (*HeterogeneousSpace, error) {
+	if len(families) == 0 {
+		return nil, errors.New("topk: heterogeneous space needs at least one family")
+	}
+	h := &HeterogeneousSpace{families: families, attrDim: families[0].AttrDim()}
+	for i, f := range families {
+		if f.AttrDim() != h.attrDim {
+			return nil, fmt.Errorf("topk: family %d has attr dim %d, want %d", i, f.AttrDim(), h.attrDim)
+		}
+		h.offsets = append(h.offsets, h.queryDim)
+		h.queryDim += f.QueryDim()
+	}
+	return h, nil
+}
+
+// AttrDim implements Space.
+func (h *HeterogeneousSpace) AttrDim() int { return h.attrDim }
+
+// QueryDim implements Space.
+func (h *HeterogeneousSpace) QueryDim() int { return h.queryDim }
+
+// Linear implements Space.
+func (h *HeterogeneousSpace) Linear() bool { return false }
+
+// Families returns the number of combined utility families.
+func (h *HeterogeneousSpace) Families() int { return len(h.families) }
+
+// Family returns the i-th combined space.
+func (h *HeterogeneousSpace) Family(i int) Space { return h.families[i] }
+
+// Embed implements Space.
+func (h *HeterogeneousSpace) Embed(attrs vec.Vector) (vec.Vector, error) {
+	out := make(vec.Vector, h.queryDim)
+	for i, f := range h.families {
+		part, err := f.Embed(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("topk: family %d: %w", i, err)
+		}
+		copy(out[h.offsets[i]:], part)
+	}
+	return out, nil
+}
+
+// Lift places a family-local query point into the unified space: weights of
+// all other families are zero, exactly as Section 5.3 describes.
+func (h *HeterogeneousSpace) Lift(family int, point vec.Vector) (vec.Vector, error) {
+	if family < 0 || family >= len(h.families) {
+		return nil, fmt.Errorf("topk: family %d out of range [0,%d)", family, len(h.families))
+	}
+	f := h.families[family]
+	if len(point) != f.QueryDim() {
+		return nil, fmt.Errorf("topk: family %d query dim %d, got %d", family, f.QueryDim(), len(point))
+	}
+	out := make(vec.Vector, h.queryDim)
+	copy(out[h.offsets[family]:], point)
+	return out, nil
+}
+
+// DescribeSpace returns a short human-readable description, used by the
+// analytic tool.
+func DescribeSpace(s Space) string {
+	switch t := s.(type) {
+	case LinearSpace:
+		return fmt.Sprintf("linear(%d)", t.D)
+	case *ExprSpace:
+		return fmt.Sprintf("expr(weights: %s)", strings.Join(t.weights, ", "))
+	case *HeterogeneousSpace:
+		parts := make([]string, len(t.families))
+		for i, f := range t.families {
+			parts[i] = DescribeSpace(f)
+		}
+		return "hetero(" + strings.Join(parts, " + ") + ")"
+	default:
+		return fmt.Sprintf("space(attr=%d,query=%d)", s.AttrDim(), s.QueryDim())
+	}
+}
+
+// sortedCopy returns a sorted copy of xs; small helper shared by tests.
+func sortedCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,197 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iq/internal/vec"
+)
+
+func TestLinearSpace(t *testing.T) {
+	s := LinearSpace{D: 3}
+	if s.AttrDim() != 3 || s.QueryDim() != 3 || !s.Linear() {
+		t.Error("LinearSpace accessors")
+	}
+	c, err := s.Embed(vec.Vector{1, 2, 3})
+	if err != nil || !vec.Equal(c, vec.Vector{1, 2, 3}) {
+		t.Errorf("Embed: %v %v", c, err)
+	}
+	if _, err := s.Embed(vec.Vector{1}); err == nil {
+		t.Error("bad dim accepted")
+	}
+	if !strings.Contains(DescribeSpace(s), "linear") {
+		t.Error("DescribeSpace")
+	}
+}
+
+func TestExprSpacePolynomial(t *testing.T) {
+	// Paper Equation 20: u(p) = w1*p1^3 + w2*(p2*p3) + w3*p4^2.
+	s, err := NewExprSpace("w1 * p1^3 + w2 * (p2 * p3) + w3 * p4^2",
+		[]string{"p1", "p2", "p3", "p4"})
+	if err != nil {
+		t.Fatalf("NewExprSpace: %v", err)
+	}
+	if s.AttrDim() != 4 || s.QueryDim() != 3 || s.Linear() {
+		t.Errorf("dims: attr=%d query=%d", s.AttrDim(), s.QueryDim())
+	}
+	c, err := s.Embed(vec.Vector{2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Augmented attrs: p1^3=8, p2*p3=12, p4^2=25 (order by weight name).
+	if !vec.ApproxEqual(c, vec.Vector{8, 12, 25}, 1e-12) {
+		t.Errorf("Embed=%v", c)
+	}
+	// Score via embedding equals direct utility evaluation.
+	q := s.QueryFromWeights(map[string]float64{"w1": 0.5, "w2": 2, "w3": 0.1})
+	score := vec.Dot(c, q)
+	want := 0.5*8 + 2*12 + 0.1*25
+	if math.Abs(score-want) > 1e-12 {
+		t.Errorf("score=%v want %v", score, want)
+	}
+	if len(s.Weights()) != 3 {
+		t.Errorf("Weights=%v", s.Weights())
+	}
+}
+
+func TestExprSpaceEuclidean(t *testing.T) {
+	// Paper Eqs. 23–25: squared Euclidean distance expands to a linear
+	// form with augmented attributes p1², p2². The w1²+w2² constant is
+	// query-side and rank-neutral, so the linearisable part is
+	// −2w1·p1 − 2w2·p2 + 1·(p1²+p2²). We model the constant-weight slot
+	// with an explicit always-one weight variable wOne.
+	s, err := NewExprSpace("-2*w1*p1 - 2*w2*p2 + wOne*(p1^2 + p2^2)",
+		[]string{"p1", "p2"})
+	if err != nil {
+		t.Fatalf("NewExprSpace: %v", err)
+	}
+	if s.QueryDim() != 3 {
+		t.Fatalf("QueryDim=%d", s.QueryDim())
+	}
+	// Ranking by this linear form matches ranking by true distance.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := vec.Vector{rng.Float64(), rng.Float64()}
+		b := vec.Vector{rng.Float64(), rng.Float64()}
+		target := vec.Vector{rng.Float64(), rng.Float64()}
+		q := s.QueryFromWeights(map[string]float64{"w1": target[0], "w2": target[1], "wOne": 1})
+		ca, _ := s.Embed(a)
+		cb, _ := s.Embed(b)
+		sa, sb := vec.Dot(ca, q), vec.Dot(cb, q)
+		da, db := vec.Dist2(a, target), vec.Dist2(b, target)
+		if (sa < sb) != (da < db) {
+			t.Fatalf("ranking mismatch: scores (%v,%v), distances (%v,%v)", sa, sb, da, db)
+		}
+	}
+}
+
+func TestExprSpaceErrors(t *testing.T) {
+	if _, err := NewExprSpace("w1 *", []string{"p"}); err == nil {
+		t.Error("parse error not propagated")
+	}
+	if _, err := NewExprSpace("sqrt(w1 * p)", []string{"p"}); err == nil {
+		t.Error("non-linearisable accepted")
+	}
+	if _, err := NewExprSpace("3 + 4", []string{"p"}); err == nil {
+		t.Error("weightless utility accepted")
+	}
+	s, err := NewExprSpace("w1 * sqrt(p)", []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Embed(vec.Vector{1, 2}); err == nil {
+		t.Error("bad attr dim accepted")
+	}
+	if _, err := s.Embed(vec.Vector{-1}); err == nil {
+		t.Error("sqrt(-1) should fail at embed")
+	}
+}
+
+func TestHeterogeneousSpace(t *testing.T) {
+	// Two families over the same 3-attribute Car data (paper Section 5.3):
+	// u uses sqrt(price)-style terms, v a different shape. Both linearised.
+	u, err := NewExprSpace("w1 * sqrt(price) + w2 * (capacity / mpg)",
+		[]string{"price", "mpg", "capacity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewExprSpace("w3 * (mpg / price) + w4 * capacity^2",
+		[]string{"price", "mpg", "capacity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeterogeneousSpace(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.QueryDim() != 4 || h.AttrDim() != 3 || h.Families() != 2 || h.Linear() {
+		t.Errorf("dims: %d %d", h.QueryDim(), h.AttrDim())
+	}
+
+	// Car 1 from the paper's Table 1: price 15000, MPG 30, capacity 4.
+	car := vec.Vector{15000, 30, 4}
+	c, err := h.Embed(car)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 4 {
+		t.Fatalf("embed len %d", len(c))
+	}
+
+	// A family-0 query must score identically through the unified space.
+	q0 := u.QueryFromWeights(map[string]float64{"w1": 0.3, "w2": 0.7})
+	lifted, err := h.Lift(0, q0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, _ := u.Embed(car)
+	if math.Abs(vec.Dot(c, lifted)-vec.Dot(cu, q0)) > 1e-9 {
+		t.Error("lifted family-0 query scores differently")
+	}
+	// Family-1 weights occupy the second block.
+	q1 := v.QueryFromWeights(map[string]float64{"w3": 1, "w4": 2})
+	lifted1, err := h.Lift(1, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < u.QueryDim(); i++ {
+		if lifted1[i] != 0 {
+			t.Error("family-1 lift has non-zero weight in family-0 block")
+		}
+	}
+	cv, _ := v.Embed(car)
+	if math.Abs(vec.Dot(c, lifted1)-vec.Dot(cv, q1)) > 1e-9 {
+		t.Error("lifted family-1 query scores differently")
+	}
+}
+
+func TestHeterogeneousSpaceErrors(t *testing.T) {
+	if _, err := NewHeterogeneousSpace(); err == nil {
+		t.Error("empty family list accepted")
+	}
+	a := LinearSpace{D: 2}
+	b := LinearSpace{D: 3}
+	if _, err := NewHeterogeneousSpace(a, b); err == nil {
+		t.Error("mismatched attr dims accepted")
+	}
+	h, _ := NewHeterogeneousSpace(a, LinearSpace{D: 2})
+	if _, err := h.Lift(5, vec.Vector{1, 2}); err == nil {
+		t.Error("bad family index accepted")
+	}
+	if _, err := h.Lift(0, vec.Vector{1}); err == nil {
+		t.Error("bad point dim accepted")
+	}
+	if !strings.Contains(DescribeSpace(h), "hetero") {
+		t.Error("DescribeSpace hetero")
+	}
+}
+
+func TestSortedCopyHelper(t *testing.T) {
+	in := []int{3, 1, 2}
+	out := sortedCopy(in)
+	if out[0] != 1 || in[0] != 3 {
+		t.Error("sortedCopy")
+	}
+}

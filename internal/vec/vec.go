@@ -1,0 +1,336 @@
+// Package vec provides small dense vector and matrix helpers used across the
+// improvement-query library. Vectors are plain []float64 so callers can build
+// them with ordinary slice literals; every function documents whether it
+// mutates its arguments.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Vector is a point or direction in d-dimensional attribute/weight space.
+type Vector = []float64
+
+// ErrDimensionMismatch is returned (or wrapped) when two vectors of different
+// lengths are combined.
+var ErrDimensionMismatch = errors.New("vec: dimension mismatch")
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector {
+	return make(Vector, d)
+}
+
+// Clone returns an independent copy of v.
+func Clone(v Vector) Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of a and b. It panics if the dimensions
+// differ; geometric code treats that as a programming error, not user input.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Add returns a+b as a new vector.
+func Add(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Add dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a−b as a new vector.
+func Sub(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Sub dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: AddInPlace dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Scale returns v*c as a new vector.
+func Scale(v Vector, c float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * c
+	}
+	return out
+}
+
+// ScaleInPlace multiplies v by c.
+func ScaleInPlace(v Vector, c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func Norm2(v Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the L∞ norm of v.
+func NormInf(v Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dist2 dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// IsZero reports whether every component of v is exactly zero.
+func IsZero(v Vector) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every component is finite (no NaN/Inf).
+func AllFinite(v Vector) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have the same dimension and components.
+func Equal(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b differ by at most eps in every
+// component.
+func ApproxEqual(a, b Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize returns v scaled to unit L2 norm. A zero vector is returned
+// unchanged (as a copy).
+func Normalize(v Vector) Vector {
+	n := Norm2(v)
+	if n == 0 {
+		return Clone(v)
+	}
+	return Scale(v, 1/n)
+}
+
+// Clamp returns v with every component clamped into [lo[i], hi[i]].
+// lo and hi must have the same dimension as v.
+func Clamp(v, lo, hi Vector) Vector {
+	if len(v) != len(lo) || len(v) != len(hi) {
+		panic("vec: Clamp dimension mismatch")
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = math.Min(math.Max(v[i], lo[i]), hi[i])
+	}
+	return out
+}
+
+// Min returns the component-wise minimum of a and b.
+func Min(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic("vec: Min dimension mismatch")
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = math.Min(a[i], b[i])
+	}
+	return out
+}
+
+// Max returns the component-wise maximum of a and b.
+func Max(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic("vec: Max dimension mismatch")
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = math.Max(a[i], b[i])
+	}
+	return out
+}
+
+// Sum returns the sum of all components of v.
+func Sum(v Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// ArgMax returns the index of the largest component (first on ties) and its
+// value. It returns (-1, -Inf) for an empty vector.
+func ArgMax(v Vector) (int, float64) {
+	idx, best := -1, math.Inf(-1)
+	for i, x := range v {
+		if x > best {
+			idx, best = i, x
+		}
+	}
+	return idx, best
+}
+
+// ArgMin returns the index of the smallest component (first on ties) and its
+// value. It returns (-1, +Inf) for an empty vector.
+func ArgMin(v Vector) (int, float64) {
+	idx, best := -1, math.Inf(1)
+	for i, x := range v {
+		if x < best {
+			idx, best = i, x
+		}
+	}
+	return idx, best
+}
+
+// String formats v like "(0.1, 0.2, 0.3)" with compact float formatting.
+func String(v Vector) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', 6, 64))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Parse parses a vector in the format produced by String, with or without
+// the surrounding parentheses.
+func Parse(s string) (Vector, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	if strings.TrimSpace(s) == "" {
+		return Vector{}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make(Vector, 0, len(parts))
+	for _, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("vec: parse %q: %w", p, err)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// Lerp returns a + t*(b-a), the linear interpolation between a and b.
+func Lerp(a, b Vector, t float64) Vector {
+	if len(a) != len(b) {
+		panic("vec: Lerp dimension mismatch")
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + t*(b[i]-a[i])
+	}
+	return out
+}
+
+// Dominates reports whether a dominates b under lower-is-better semantics on
+// every coordinate: a[i] <= b[i] for all i and a[j] < b[j] for some j.
+//
+// Note: in the weight/score setting of this library a *lower* score ranks
+// higher, so dominance here means "a is at least as good everywhere and
+// strictly better somewhere".
+func Dominates(a, b Vector) bool {
+	if len(a) != len(b) {
+		panic("vec: Dominates dimension mismatch")
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}

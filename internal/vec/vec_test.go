@@ -1,0 +1,233 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"orthogonal", Vector{1, 0}, Vector{0, 1}, 0},
+		{"parallel", Vector{1, 2, 3}, Vector{2, 4, 6}, 28},
+		{"empty", Vector{}, Vector{}, 0},
+		{"negatives", Vector{-1, 2}, Vector{3, -4}, -11},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dot(tc.a, tc.b); got != tc.want {
+				t.Errorf("Dot(%v,%v)=%v want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestAddSub(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := Add(a, b); !Equal(got, Vector{5, 7, 9}) {
+		t.Errorf("Add=%v", got)
+	}
+	if got := Sub(b, a); !Equal(got, Vector{3, 3, 3}) {
+		t.Errorf("Sub=%v", got)
+	}
+	// inputs untouched
+	if !Equal(a, Vector{1, 2, 3}) || !Equal(b, Vector{4, 5, 6}) {
+		t.Error("Add/Sub mutated inputs")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := Vector{1, 2}
+	AddInPlace(a, Vector{10, 20})
+	if !Equal(a, Vector{11, 22}) {
+		t.Errorf("AddInPlace=%v", a)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := Norm2(v); got != 5 {
+		t.Errorf("Norm2=%v", got)
+	}
+	if got := Norm1(v); got != 7 {
+		t.Errorf("Norm1=%v", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf=%v", got)
+	}
+	if got := Dist2(Vector{0, 0}, v); got != 5 {
+		t.Errorf("Dist2=%v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize(Vector{3, 4})
+	if math.Abs(Norm2(v)-1) > 1e-12 {
+		t.Errorf("Normalize norm=%v", Norm2(v))
+	}
+	z := Normalize(Vector{0, 0})
+	if !Equal(z, Vector{0, 0}) {
+		t.Errorf("Normalize zero=%v", z)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Vector{1, 2}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestClampMinMax(t *testing.T) {
+	v := Clamp(Vector{-1, 0.5, 2}, Vector{0, 0, 0}, Vector{1, 1, 1})
+	if !Equal(v, Vector{0, 0.5, 1}) {
+		t.Errorf("Clamp=%v", v)
+	}
+	if got := Min(Vector{1, 5}, Vector{2, 3}); !Equal(got, Vector{1, 3}) {
+		t.Errorf("Min=%v", got)
+	}
+	if got := Max(Vector{1, 5}, Vector{2, 3}); !Equal(got, Vector{2, 5}) {
+		t.Errorf("Max=%v", got)
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	i, v := ArgMax(Vector{1, 9, 3})
+	if i != 1 || v != 9 {
+		t.Errorf("ArgMax=(%d,%v)", i, v)
+	}
+	i, v = ArgMin(Vector{4, -2, 7})
+	if i != 1 || v != -2 {
+		t.Errorf("ArgMin=(%d,%v)", i, v)
+	}
+	i, _ = ArgMax(Vector{})
+	if i != -1 {
+		t.Errorf("ArgMax(empty)=%d", i)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	v := Vector{0.25, -1.5, 3}
+	got, err := Parse(String(v))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !Equal(got, v) {
+		t.Errorf("round trip got %v want %v", got, v)
+	}
+	if _, err := Parse("(1, oops)"); err == nil {
+		t.Error("expected parse error")
+	}
+	empty, err := Parse("()")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("Parse(()) = %v, %v", empty, err)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{1, 1}, Vector{2, 2}, true},
+		{Vector{1, 3}, Vector{2, 2}, false},
+		{Vector{2, 2}, Vector{2, 2}, false}, // equal, no strict improvement
+		{Vector{1, 2}, Vector{1, 3}, true},
+	}
+	for _, tc := range tests {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v,%v)=%v want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAllFiniteIsZero(t *testing.T) {
+	if !AllFinite(Vector{1, 2}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if AllFinite(Vector{1, math.NaN()}) || AllFinite(Vector{math.Inf(1)}) {
+		t.Error("non-finite vector reported finite")
+	}
+	if !IsZero(Vector{0, 0}) || IsZero(Vector{0, 1}) {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	got := Lerp(Vector{0, 0}, Vector{10, 20}, 0.5)
+	if !Equal(got, Vector{5, 10}) {
+		t.Errorf("Lerp=%v", got)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestQuickDotProperties(t *testing.T) {
+	f := func(a, b [4]float64, c float64) bool {
+		av, bv := a[:], b[:]
+		// Skip magnitudes where float64 products overflow; the property
+		// holds in exact arithmetic only.
+		if NormInf(av) > 1e100 || NormInf(bv) > 1e100 || math.Abs(c) > 1e100 {
+			return true
+		}
+		if math.Abs(Dot(av, bv)-Dot(bv, av)) > 1e-9*math.Max(1, math.Abs(Dot(av, bv))) {
+			return false
+		}
+		lhs := Dot(Scale(av, c), bv)
+		rhs := c * Dot(av, bv)
+		return math.Abs(lhs-rhs) <= 1e-6*math.Max(1, math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Norm2.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		av, bv := a[:], b[:]
+		if !AllFinite(av) || !AllFinite(bv) {
+			return true
+		}
+		return Norm2(Add(av, bv)) <= Norm2(av)+Norm2(bv)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp result is always within bounds when lo <= hi.
+func TestQuickClampWithinBounds(t *testing.T) {
+	f := func(v [3]float64) bool {
+		lo := Vector{0, 0, 0}
+		hi := Vector{1, 1, 1}
+		c := Clamp(v[:], lo, hi)
+		for i := range c {
+			if c[i] < lo[i] || c[i] > hi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package iq is a library for querying improvement strategies, implementing
+// Yang & Cai, "Querying Improvement Strategies" (EDBT 2017). Given a dataset
+// of objects (points over numeric attributes) and a workload of top-k
+// queries (users' preference functions), an Improvement Query finds how to
+// adjust a chosen object's attributes so it appears in more query results:
+//
+//   - MinCost: the cheapest adjustment reaching a desired number of hit
+//     queries (Algorithm 3 of the paper).
+//   - MaxHit: the adjustment hitting the most queries within a cost budget
+//     (Algorithm 4).
+//
+// Both are NP-hard; the library answers them with the paper's geometric
+// heuristics: objects are interpreted as functions over the query weight
+// space, queries are grouped into subdomains sharing one ranking
+// (Algorithm 1), and candidate strategies are scored with Efficient
+// Strategy Evaluation (Algorithm 2) instead of re-evaluating the workload.
+//
+// Scores are lower-is-better: a top-k query returns the k objects with the
+// smallest score, and an improvement typically decreases attribute values.
+// Model "bigger is better" attributes by negating or inverting them when
+// building the dataset (the examples show both).
+//
+// The entry point is System:
+//
+//	sys, err := iq.NewLinear(objects, queries)
+//	res, err := sys.MinCost(iq.MinCostRequest{Target: 3, Tau: 10, Cost: iq.L2Cost{}})
+//	fmt.Println(res.Strategy, res.Cost, res.Hits)
+//
+// Non-linear utilities (Section 5.2), heterogeneous utility families
+// (Section 5.3), multiple targets (Section 5.1), user-defined cost
+// expressions, frozen attributes, and incremental data updates are all
+// supported; see the examples directory.
+package iq
+
+import (
+	"fmt"
+
+	"iq/internal/core"
+	"iq/internal/ese"
+	"iq/internal/subdomain"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// Vector is a point in attribute or weight space.
+type Vector = vec.Vector
+
+// Query is a top-k query: a weight-space point and the result size k.
+type Query = topk.Query
+
+// Space maps object attributes to function coefficients; see LinearSpace,
+// NewExprSpace and NewHeterogeneousSpace.
+type Space = topk.Space
+
+// LinearSpace is the identity embedding for linear utility functions.
+type LinearSpace = topk.LinearSpace
+
+// NewExprSpace linearises a utility expression (e.g. "w1*price^2 +
+// w2*(capacity/mpg)") into an embedding space via variable substitution.
+var NewExprSpace = topk.NewExprSpace
+
+// NewHeterogeneousSpace unifies several utility families into one generic
+// space; queries from family f are placed with Lift(f, point).
+var NewHeterogeneousSpace = topk.NewHeterogeneousSpace
+
+// Cost is a user-defined strategy cost function.
+type Cost = core.Cost
+
+// L2Cost is the Euclidean cost sqrt(Σ sᵢ²) used in the paper's experiments.
+type L2Cost = core.L2Cost
+
+// L1Cost prices every unit of attribute change equally.
+type L1Cost = core.L1Cost
+
+// WeightedL2Cost prices attribute i at weight Alpha[i].
+type WeightedL2Cost = core.WeightedL2Cost
+
+// NewExprCost parses a custom cost expression over variables s1…sd.
+var NewExprCost = core.NewExprCost
+
+// Bounds restricts valid strategies per attribute; Frozen builds bounds
+// pinning selected attributes.
+type Bounds = core.Bounds
+
+// Frozen returns bounds that freeze the listed attribute indices.
+var Frozen = core.Frozen
+
+// MinCostRequest parameterises a Min-Cost IQ.
+type MinCostRequest = core.MinCostRequest
+
+// MaxHitRequest parameterises a Max-Hit IQ.
+type MaxHitRequest = core.MaxHitRequest
+
+// Result is a single-target improvement query answer.
+type Result = core.Result
+
+// TargetSpec pairs a target with its cost function for multi-target IQs.
+type TargetSpec = core.TargetSpec
+
+// MultiResult is a multi-target improvement query answer.
+type MultiResult = core.MultiResult
+
+// ErrGoalUnreachable reports that the requested τ cannot be met.
+var ErrGoalUnreachable = core.ErrGoalUnreachable
+
+// IndexOptions tunes subdomain index construction.
+type IndexOptions = subdomain.Options
+
+// IndexStats summarises the index footprint.
+type IndexStats = subdomain.Stats
+
+// System bundles a workload (objects + queries + embedding space) with its
+// subdomain index and answers improvement queries. Build one with New or
+// NewLinear; it is not safe for concurrent mutation, but read-only query
+// answering may run from multiple goroutines as long as no Add/Remove/
+// Update/commit call is concurrent.
+type System struct {
+	w   *topk.Workload
+	idx *subdomain.Index
+}
+
+// New builds a System over an arbitrary embedding space.
+func New(space Space, objects []Vector, queries []Query) (*System, error) {
+	return NewWithOptions(space, objects, queries, IndexOptions{})
+}
+
+// NewWithOptions builds a System with explicit index options.
+func NewWithOptions(space Space, objects []Vector, queries []Query, opts IndexOptions) (*System, error) {
+	w, err := topk.NewWorkload(space, objects, queries)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := buildIndex(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{w: w, idx: idx}, nil
+}
+
+func buildIndex(w *topk.Workload, opts IndexOptions) (*subdomain.Index, error) {
+	return subdomain.Build(w, opts)
+}
+
+// NewLinear builds a System for linear utility functions: query points are
+// attribute weight vectors of the same dimension as the objects.
+func NewLinear(objects []Vector, queries []Query) (*System, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("iq: no objects")
+	}
+	return New(LinearSpace{D: len(objects[0])}, objects, queries)
+}
+
+// MinCost answers a Min-Cost improvement query (Definition 2 /
+// Algorithm 3).
+func (s *System) MinCost(req MinCostRequest) (*Result, error) {
+	return core.MinCostIQ(s.idx, req)
+}
+
+// MaxHit answers a Max-Hit improvement query (Definition 3 / Algorithm 4).
+func (s *System) MaxHit(req MaxHitRequest) (*Result, error) {
+	return core.MaxHitIQ(s.idx, req)
+}
+
+// MinCostMulti answers a combinatorial Min-Cost IQ over several targets
+// (Section 5.1).
+func (s *System) MinCostMulti(specs []TargetSpec, tau int) (*MultiResult, error) {
+	return core.CombinatorialMinCostIQ(s.idx, specs, tau)
+}
+
+// MaxHitMulti answers a combinatorial Max-Hit IQ over several targets.
+func (s *System) MaxHitMulti(specs []TargetSpec, budget float64) (*MultiResult, error) {
+	return core.CombinatorialMaxHitIQ(s.idx, specs, budget)
+}
+
+// MinCostExhaustive runs the optimal (exponential-time) solver; only
+// feasible for very small inputs, as the paper notes.
+func (s *System) MinCostExhaustive(req MinCostRequest) (*Result, error) {
+	return core.ExhaustiveMinCost(s.idx, req)
+}
+
+// MaxHitExhaustive runs the optimal Max-Hit solver for tiny inputs.
+func (s *System) MaxHitExhaustive(req MaxHitRequest) (*Result, error) {
+	return core.ExhaustiveMaxHit(s.idx, req)
+}
+
+// Hits returns H(p), the number of queries object target currently hits.
+func (s *System) Hits(target int) (int, error) {
+	ev, err := ese.New(s.idx, target)
+	if err != nil {
+		return 0, err
+	}
+	return ev.BaseHits(), nil
+}
+
+// Evaluate answers a plain top-k query against the dataset.
+func (s *System) Evaluate(q Query) []int {
+	res := s.w.Evaluate(q)
+	return res.Ordered
+}
+
+// EvaluateStrategy returns H(p+strategy) without committing anything — the
+// "what would happen if" primitive (Algorithm 2 directly).
+func (s *System) EvaluateStrategy(target int, strategy Vector) (int, error) {
+	ev, err := ese.New(s.idx, target)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Hits(strategy)
+}
+
+// Commit permanently applies a strategy to a target, updating the dataset
+// and the index.
+func (s *System) Commit(target int, strategy Vector) error {
+	return s.idx.UpdateObject(target, vec.Add(s.w.Attrs(target), strategy))
+}
+
+// AddObject inserts a new object and returns its index.
+func (s *System) AddObject(attrs Vector) (int, error) { return s.idx.AddObject(attrs) }
+
+// RemoveObject tombstones an object.
+func (s *System) RemoveObject(id int) error { return s.idx.RemoveObject(id) }
+
+// AddQuery inserts a new top-k query and returns its index.
+func (s *System) AddQuery(q Query) (int, error) { return s.idx.AddQuery(q) }
+
+// RemoveQuery removes a query from the workload index.
+func (s *System) RemoveQuery(j int) error { return s.idx.RemoveQuery(j) }
+
+// NumObjects returns the dataset size (including tombstoned objects).
+func (s *System) NumObjects() int { return s.w.NumObjects() }
+
+// NumQueries returns the query workload size.
+func (s *System) NumQueries() int { return s.w.NumQueries() }
+
+// Attrs returns a copy of an object's current attributes.
+func (s *System) Attrs(id int) Vector { return vec.Clone(s.w.Attrs(id)) }
+
+// IndexStats reports the subdomain index footprint.
+func (s *System) IndexStats() IndexStats { return s.idx.Stats() }
+
+// Internal accessors for the benchmark harness and tools.
+
+// Workload exposes the underlying workload (read-mostly).
+func (s *System) Workload() *topk.Workload { return s.w }
+
+// Index exposes the subdomain index.
+func (s *System) Index() *subdomain.Index { return s.idx }

@@ -1,0 +1,193 @@
+package iq
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iq/internal/dataset"
+)
+
+func smallSystem(t *testing.T, rng *rand.Rand, n, m int) *System {
+	t.Helper()
+	objs := dataset.Objects(dataset.Independent, n, 3, rng)
+	queries := dataset.UNQueries(m, 3, 5, false, rng)
+	sys, err := NewLinear(objs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEndToEndMinCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys := smallSystem(t, rng, 120, 60)
+	res, err := sys.MinCost(MinCostRequest{Target: 7, Tau: 10, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 10 {
+		t.Fatalf("hits=%d", res.Hits)
+	}
+	// EvaluateStrategy agrees with the result.
+	h, err := sys.EvaluateStrategy(7, res.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != res.Hits {
+		t.Fatalf("EvaluateStrategy %d vs result %d", h, res.Hits)
+	}
+}
+
+func TestEndToEndMaxHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sys := smallSystem(t, rng, 120, 60)
+	res, err := sys.MaxHit(MaxHitRequest{Target: 3, Budget: 0.5, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 0.5+1e-9 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+	if res.Hits < res.BaseHits {
+		t.Fatal("lost hits")
+	}
+}
+
+func TestCommitChangesFutureQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys := smallSystem(t, rng, 80, 40)
+	res, err := sys.MinCost(MinCostRequest{Target: 2, Tau: 8, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sys.Hits(2)
+	if err := sys.Commit(2, res.Strategy); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.Hits(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < 8 || after < before {
+		t.Fatalf("hits after commit %d (before %d)", after, before)
+	}
+	// Attributes changed.
+	attrs := sys.Attrs(2)
+	if len(attrs) != 3 {
+		t.Fatal("attrs dim")
+	}
+}
+
+func TestSystemUpdatesAndStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sys := smallSystem(t, rng, 60, 30)
+	id, err := sys.AddObject(Vector{0.2, 0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 60 {
+		t.Fatalf("id=%d", id)
+	}
+	qid, err := sys.AddQuery(Query{ID: 999, K: 2, Point: Vector{0.5, 0.3, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RemoveQuery(qid); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RemoveObject(id); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.IndexStats()
+	if st.Queries == 0 || st.SizeBytes <= 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if sys.NumObjects() != 61 || sys.NumQueries() != 31 {
+		t.Errorf("counts %d %d", sys.NumObjects(), sys.NumQueries())
+	}
+}
+
+func TestMultiTargetFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := smallSystem(t, rng, 80, 40)
+	specs := []TargetSpec{
+		{Target: 0, Cost: L2Cost{}},
+		{Target: 1, Cost: L2Cost{}},
+	}
+	res, err := sys.MinCostMulti(specs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalHits < 10 {
+		t.Fatalf("union hits %d", res.TotalHits)
+	}
+	mh, err := sys.MaxHitMulti(specs, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.TotalCost > 0.8+1e-9 {
+		t.Fatalf("over budget: %v", mh.TotalCost)
+	}
+}
+
+func TestExhaustiveFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sys := smallSystem(t, rng, 20, 8)
+	res, err := sys.MinCostExhaustive(MinCostRequest{Target: 0, Tau: 3, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 3 {
+		t.Fatalf("hits=%d", res.Hits)
+	}
+	mh, err := sys.MaxHitExhaustive(MaxHitRequest{Target: 0, Budget: 0.4, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Cost > 0.4+1e-9 {
+		t.Fatalf("over budget: %v", mh.Cost)
+	}
+}
+
+func TestNonLinearFacade(t *testing.T) {
+	space, err := NewExprSpace("w1 * price + w2 * (capacity / mpg)",
+		[]string{"price", "mpg", "capacity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []Vector{
+		{0.5, 0.4, 0.3},
+		{0.7, 0.6, 0.2},
+		{0.3, 0.8, 0.9},
+	}
+	queries := []Query{
+		{ID: 0, K: 1, Point: Vector{0.5, 0.5}},
+		{ID: 1, K: 2, Point: Vector{0.9, 0.1}},
+	}
+	sys, err := New(space, objs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.MinCost(MinCostRequest{Target: 1, Tau: 2, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 2 {
+		t.Fatalf("hits=%d", res.Hits)
+	}
+}
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := NewLinear(nil, nil); err == nil {
+		t.Error("empty object set accepted")
+	}
+}
+
+func TestUnreachableGoal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys := smallSystem(t, rng, 30, 10)
+	if _, err := sys.MinCost(MinCostRequest{Target: 0, Tau: 99, Cost: L2Cost{}}); !errors.Is(err, ErrGoalUnreachable) {
+		t.Errorf("err=%v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package iq
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// Persistence: Save serialises a System's workload (objects, queries,
+// tombstones, and the embedding space description) with encoding/gob; Load
+// restores it and rebuilds the subdomain index. Index structures are
+// rebuilt rather than stored — construction is fast relative to I/O and the
+// rebuild guarantees the grouping invariant against format drift.
+//
+// Queries removed with RemoveQuery are compacted out of the snapshot, so
+// query indices may shift across a Save/Load cycle; object indices are
+// stable (tombstones are preserved).
+
+// spaceSpec is the serialisable description of an embedding space.
+type spaceSpec struct {
+	Kind      string // "linear" | "expr" | "hetero"
+	Dim       int
+	Utility   string
+	AttrNames []string
+	Children  []spaceSpec
+}
+
+func specOf(s Space) (spaceSpec, error) {
+	switch t := s.(type) {
+	case LinearSpace:
+		return spaceSpec{Kind: "linear", Dim: t.D}, nil
+	case *topk.ExprSpace:
+		return spaceSpec{Kind: "expr", Utility: t.Source(), AttrNames: t.AttrNames()}, nil
+	case *topk.HeterogeneousSpace:
+		spec := spaceSpec{Kind: "hetero"}
+		for i := 0; i < t.Families(); i++ {
+			child, err := specOf(t.Family(i))
+			if err != nil {
+				return spaceSpec{}, err
+			}
+			spec.Children = append(spec.Children, child)
+		}
+		return spec, nil
+	default:
+		return spaceSpec{}, fmt.Errorf("iq: space %T is not serialisable", s)
+	}
+}
+
+func (s spaceSpec) build() (Space, error) {
+	switch s.Kind {
+	case "linear":
+		return LinearSpace{D: s.Dim}, nil
+	case "expr":
+		return topk.NewExprSpace(s.Utility, s.AttrNames)
+	case "hetero":
+		children := make([]Space, len(s.Children))
+		for i, c := range s.Children {
+			child, err := c.build()
+			if err != nil {
+				return nil, err
+			}
+			children[i] = child
+		}
+		return topk.NewHeterogeneousSpace(children...)
+	default:
+		return nil, fmt.Errorf("iq: unknown space kind %q", s.Kind)
+	}
+}
+
+// snapshot is the on-disk format.
+type snapshot struct {
+	Version int
+	Space   spaceSpec
+	Objects []vec.Vector
+	Removed []bool
+	QueryID []int
+	QueryK  []int
+	QueryPt []vec.Vector
+	Options IndexOptions
+}
+
+const snapshotVersion = 1
+
+// Save writes the System to w. The subdomain index is rebuilt on Load.
+func (s *System) Save(w io.Writer) error {
+	spec, err := specOf(s.w.Space())
+	if err != nil {
+		return err
+	}
+	snap := snapshot{Version: snapshotVersion, Space: spec}
+	n := s.w.NumObjects()
+	snap.Objects = make([]vec.Vector, n)
+	snap.Removed = make([]bool, n)
+	for i := 0; i < n; i++ {
+		snap.Objects[i] = s.w.Attrs(i)
+		snap.Removed[i] = s.w.IsRemoved(i)
+	}
+	for j := 0; j < s.w.NumQueries(); j++ {
+		if s.idx.SubdomainOf(j) == nil {
+			continue // removed from the index; compact it away
+		}
+		q := s.w.Query(j)
+		snap.QueryID = append(snap.QueryID, q.ID)
+		snap.QueryK = append(snap.QueryK, q.K)
+		snap.QueryPt = append(snap.QueryPt, q.Point)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a snapshot written by Save and rebuilds the System (including
+// its subdomain index).
+func Load(r io.Reader) (*System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("iq: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("iq: unsupported snapshot version %d", snap.Version)
+	}
+	space, err := snap.Space.build()
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]Query, len(snap.QueryID))
+	for i := range queries {
+		queries[i] = Query{ID: snap.QueryID[i], K: snap.QueryK[i], Point: snap.QueryPt[i]}
+	}
+	w, err := topk.NewWorkload(space, snap.Objects, queries)
+	if err != nil {
+		return nil, err
+	}
+	for i, removed := range snap.Removed {
+		if removed {
+			w.RemoveObject(i)
+		}
+	}
+	sys := &System{w: w}
+	idx, err := buildIndex(w, snap.Options)
+	if err != nil {
+		return nil, err
+	}
+	sys.idx = idx
+	return sys, nil
+}

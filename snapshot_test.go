@@ -1,0 +1,178 @@
+package iq
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iq/internal/dataset"
+)
+
+func TestSaveLoadRoundTripLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys := smallSystem(t, rng, 80, 40)
+	// Mutate a bit first: remove an object and a query, commit a strategy.
+	if err := sys.RemoveObject(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RemoveQuery(7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.MinCost(MinCostRequest{Target: 5, Tau: 6, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Commit(5, res.Strategy); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Objects identical (including tombstones).
+	if loaded.NumObjects() != sys.NumObjects() {
+		t.Fatalf("objects %d vs %d", loaded.NumObjects(), sys.NumObjects())
+	}
+	for i := 0; i < sys.NumObjects(); i++ {
+		a, b := sys.Attrs(i), loaded.Attrs(i)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("object %d differs", i)
+			}
+		}
+	}
+	// Removed query compacted.
+	if loaded.NumQueries() != sys.NumQueries()-1 {
+		t.Fatalf("queries %d vs %d-1", loaded.NumQueries(), sys.NumQueries())
+	}
+	// Behaviour identical: hit counts agree for several targets.
+	for _, target := range []int{0, 5, 10} {
+		h1, err := sys.Hits(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := loaded.Hits(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("target %d: hits %d vs %d after reload", target, h1, h2)
+		}
+	}
+	// Removed object still removed.
+	if _, err := loaded.Hits(3); err == nil {
+		t.Error("tombstone lost on reload")
+	}
+}
+
+func TestSaveLoadExprSpace(t *testing.T) {
+	space, err := NewExprSpace("w1 * sqrt(a) + w2 * (a * b)", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	objs := make([]Vector, 40)
+	for i := range objs {
+		objs[i] = Vector{0.2 + 0.8*rng.Float64(), 0.2 + 0.8*rng.Float64()}
+	}
+	queries := make([]Query, 20)
+	for j := range queries {
+		queries[j] = Query{ID: j, K: 1 + rng.Intn(3),
+			Point: Vector{rng.Float64(), rng.Float64()}}
+	}
+	sys, err := New(space, objs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < 10; target++ {
+		h1, _ := sys.Hits(target)
+		h2, _ := loaded.Hits(target)
+		if h1 != h2 {
+			t.Fatalf("target %d: %d vs %d", target, h1, h2)
+		}
+	}
+}
+
+func TestSaveLoadHeterogeneous(t *testing.T) {
+	u, err := NewExprSpace("w1 * a + w2 * b", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewExprSpace("w3 * (a * a) + w4 * b", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeterogeneousSpace(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	objs := make([]Vector, 30)
+	for i := range objs {
+		objs[i] = Vector{rng.Float64(), rng.Float64()}
+	}
+	var queries []Query
+	for j := 0; j < 10; j++ {
+		p, _ := h.Lift(j%2, Vector{rng.Float64(), rng.Float64()})
+		queries = append(queries, Query{ID: j, K: 2, Point: p})
+	}
+	sys, err := New(h, objs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := sys.Hits(4)
+	h2, _ := loaded.Hits(4)
+	if h1 != h2 {
+		t.Fatalf("hits %d vs %d", h1, h2)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSnapshotSizeSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	objs := dataset.Objects(dataset.Independent, 500, 3, rng)
+	queries := dataset.UNQueries(100, 3, 5, false, rng)
+	sys, err := NewLinear(objs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// ~500×3 + 100×3 float64s plus overhead: must be in the tens of KB.
+	if buf.Len() < 10_000 || buf.Len() > 1_000_000 {
+		t.Errorf("snapshot size %d bytes looks wrong", buf.Len())
+	}
+}
