@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race stress bench
+
+# check is the CI entry point: build everything, vet, run the full suite
+# under the race detector, then re-run the concurrency stress tests twice
+# to shake out scheduling-dependent interleavings.
+check: build vet race stress
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+stress:
+	$(GO) test -race -run TestStress -count=2 ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -31,12 +31,27 @@ import (
 	"iq"
 )
 
-// server wraps a System with an HTTP handler and a mutex: reads share the
-// System safely, but loads/commits/inserts serialise.
+// server wraps a System with an HTTP handler. iq.System is itself safe for
+// concurrent use (reads run against immutable epoch snapshots; writes
+// publish new epochs), so the server's RWMutex only guards the sys pointer
+// swap on /v1/load — read handlers fetch the pointer under a momentary
+// RLock and then compute WITHOUT holding any lock, so a slow MinCost never
+// blocks other requests. Mutating handlers hold the write lock for their
+// whole read-modify-write span (never upgrading from RLock), which both
+// serialises them against /v1/load and keeps multi-step handlers such as
+// commit-then-recount atomic.
 type server struct {
 	mu  sync.RWMutex
 	sys *iq.System
 	log *log.Logger
+}
+
+// system returns the current System pointer without holding the lock past
+// the fetch; nil when nothing is loaded.
+func (s *server) system() *iq.System {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys
 }
 
 func newServer(logger *log.Logger) *server {
@@ -158,18 +173,21 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// withSystem runs fn with the system under a read lock.
+// withSystem runs fn against the current System without holding any server
+// lock during the computation: fn reads from the epoch snapshot the System
+// hands it, so arbitrarily many reads proceed in parallel with each other
+// and with commits.
 func (s *server) withSystem(w http.ResponseWriter, fn func(*iq.System)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.sys == nil {
+	sys := s.system()
+	if sys == nil {
 		writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
 		return
 	}
-	fn(s.sys)
+	fn(sys)
 }
 
-// withSystemExclusive runs fn with the system under the write lock.
+// withSystemExclusive runs fn under the server write lock, held for the
+// handler's full read-modify-write span.
 func (s *server) withSystemExclusive(w http.ResponseWriter, fn func(*iq.System)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,6 +207,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"subdomains": st.Subdomains,
 			"candidates": st.Candidates,
 			"size_bytes": st.SizeBytes,
+			"epoch":      int(sys.Epoch()),
 		})
 	})
 }
@@ -313,13 +332,11 @@ func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withSystemExclusive(w, func(sys *iq.System) {
-		if err := sys.Commit(req.Target, req.Strategy); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		hits, err := sys.Hits(req.Target)
+		// Commit and recount in one atomic step: the reported hit count
+		// is from exactly the epoch this commit published.
+		hits, err := sys.CommitAndCount(req.Target, req.Strategy)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		s.log.Printf("committed strategy for target %d", req.Target)

@@ -265,3 +265,22 @@ func TestConcurrentReads(t *testing.T) {
 		}
 	}
 }
+
+// A strategy whose dimension does not match the dataset must be rejected
+// with 400, not panic the handler (previously vec.Add panicked and the
+// connection was dropped).
+func TestStrategyDimensionMismatch(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 30, 10)
+	for _, path := range []string{"/v1/commit", "/v1/evaluate"} {
+		resp, body := post(t, ts.URL+path, strategyRequest{Target: 5, Strategy: iq.Vector{-0.1}})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with 1-dim strategy: status %d, body %s", path, resp.StatusCode, body)
+		}
+	}
+	// Dataset still healthy afterwards.
+	resp, body := post(t, ts.URL+"/v1/evaluate", strategyRequest{Target: 5, Strategy: iq.Vector{-0.1, -0.1, -0.1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("well-formed evaluate after rejects: %d %s", resp.StatusCode, body)
+	}
+}

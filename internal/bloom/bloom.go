@@ -117,6 +117,11 @@ func (f *Filter) EstimatedFalsePositiveRate() float64 {
 	return math.Pow(1-math.Exp(exp), float64(f.k))
 }
 
+// Clone returns an independent copy of the filter.
+func (f *Filter) Clone() *Filter {
+	return &Filter{bits: append([]uint64(nil), f.bits...), m: f.m, k: f.k, inserts: f.inserts}
+}
+
 // Reset clears the filter.
 func (f *Filter) Reset() {
 	for i := range f.bits {

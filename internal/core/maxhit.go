@@ -16,7 +16,9 @@ type MaxHitRequest struct {
 	Cost   Cost
 	Bounds *Bounds
 	// Workers fans candidate evaluation out across goroutines (≤1 =
-	// serial). The result is identical regardless of worker count.
+	// serial; degenerate values are clamped to [1, max(2, GOMAXPROCS)]
+	// and never beyond the query count). The result is bit-identical
+	// regardless of worker count.
 	Workers int
 }
 
@@ -83,8 +85,15 @@ func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 		}
 		// Final fill pass (Algorithm 4 lines 13–18): cheapest-first over
 		// the remaining candidates; apply the first that fits and
-		// re-enter the loop in case the new position unlocks more.
-		sort.Slice(cands, func(a, b int) bool { return cands[a].Cost < cands[b].Cost })
+		// re-enter the loop in case the new position unlocks more. Equal
+		// costs order by query index so the pass is deterministic at any
+		// worker count (see DESIGN.md, "Deterministic parallelism").
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].Cost != cands[b].Cost {
+				return cands[a].Cost < cands[b].Cost
+			}
+			return cands[a].Query < cands[b].Query
+		})
 		applied := false
 		for _, c := range cands {
 			if c.Hits <= curHits || c.Cost > req.Budget {

@@ -17,7 +17,9 @@ type MinCostRequest struct {
 	// Bounds restricts valid strategies (nil = unbounded).
 	Bounds *Bounds
 	// Workers fans candidate evaluation out across goroutines (≤1 =
-	// serial). The result is identical regardless of worker count.
+	// serial; degenerate values are clamped to [1, max(2, GOMAXPROCS)]
+	// and never beyond the query count). The result is bit-identical
+	// regardless of worker count.
 	Workers int
 }
 
@@ -93,10 +95,15 @@ func MinCostIQ(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 		}
 		if best.Hits > req.Tau {
 			// Anti-overshoot (Algorithm 3 lines 10–13): prefer the
-			// cheapest candidate that reaches τ without overshooting cost.
+			// cheapest candidate that reaches τ without overshooting cost;
+			// equal costs break by query index for determinism.
 			cheapest, found := best, false
 			for _, c := range cands {
-				if c.Hits >= req.Tau && (!found || c.Cost < cheapest.Cost) {
+				if c.Hits < req.Tau {
+					continue
+				}
+				if !found || c.Cost < cheapest.Cost ||
+					(c.Cost == cheapest.Cost && c.Query < cheapest.Query) {
 					cheapest, found = c, true
 				}
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"iq/internal/vec"
@@ -51,6 +52,82 @@ func TestParallelMaxHitMatchesSerial(t *testing.T) {
 		}
 		if !vec.Equal(serial.Strategy, par.Strategy) || serial.Hits != par.Hits {
 			t.Fatalf("trial %d: parallel MaxHit diverged", trial)
+		}
+	}
+}
+
+// TestDeterministicParallelismAcrossSeeds is the property test backing the
+// tie-break rules documented in DESIGN.md ("Deterministic parallelism"):
+// for every seed and every worker count, MinCost and MaxHit must be
+// bit-identical to their serial runs — same strategy vector, same cost,
+// same hit count, and identical error outcomes.
+func TestDeterministicParallelismAcrossSeeds(t *testing.T) {
+	workerCounts := []int{2, 4, 8}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		idx := fixture(t, rng, 90, 60, 3, 3)
+		for trial := 0; trial < 3; trial++ {
+			target := rng.Intn(idx.Workload().NumObjects())
+			tau := 4 + rng.Intn(10)
+			budget := 0.2 + rng.Float64()*0.6
+
+			serialMC, errMC := MinCostIQ(idx, MinCostRequest{Target: target, Tau: tau, Cost: L2Cost{}})
+			serialMH, errMH := MaxHitIQ(idx, MaxHitRequest{Target: target, Budget: budget, Cost: L2Cost{}})
+			for _, workers := range workerCounts {
+				parMC, perr := MinCostIQ(idx, MinCostRequest{Target: target, Tau: tau, Cost: L2Cost{}, Workers: workers})
+				if (errMC == nil) != (perr == nil) {
+					t.Fatalf("seed %d workers=%d: MinCost error diverged: serial=%v parallel=%v",
+						seed, workers, errMC, perr)
+				}
+				if errMC == nil {
+					if !vec.Equal(serialMC.Strategy, parMC.Strategy) ||
+						serialMC.Cost != parMC.Cost || serialMC.Hits != parMC.Hits {
+						t.Fatalf("seed %d workers=%d target=%d tau=%d: MinCost diverged\n serial %v cost=%v hits=%d\n parallel %v cost=%v hits=%d",
+							seed, workers, target, tau,
+							serialMC.Strategy, serialMC.Cost, serialMC.Hits,
+							parMC.Strategy, parMC.Cost, parMC.Hits)
+					}
+				}
+				parMH, perr := MaxHitIQ(idx, MaxHitRequest{Target: target, Budget: budget, Cost: L2Cost{}, Workers: workers})
+				if (errMH == nil) != (perr == nil) {
+					t.Fatalf("seed %d workers=%d: MaxHit error diverged: serial=%v parallel=%v",
+						seed, workers, errMH, perr)
+				}
+				if errMH == nil {
+					if !vec.Equal(serialMH.Strategy, parMH.Strategy) ||
+						serialMH.Cost != parMH.Cost || serialMH.Hits != parMH.Hits {
+						t.Fatalf("seed %d workers=%d target=%d budget=%v: MaxHit diverged\n serial %v cost=%v hits=%d\n parallel %v cost=%v hits=%d",
+							seed, workers, target, budget,
+							serialMH.Strategy, serialMH.Cost, serialMH.Hits,
+							parMH.Strategy, parMH.Cost, parMH.Hits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Degenerate Workers values must clamp rather than misbehave.
+func TestClampWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	if gmp < 2 {
+		gmp = 2
+	}
+	cases := []struct {
+		workers, queries, want int
+	}{
+		{-5, 100, 1},          // negative → serial
+		{0, 100, 1},           // zero → serial
+		{1, 100, 1},           // serial stays serial
+		{2, 100, min(2, gmp)}, // modest request honoured
+		{1 << 20, 100, gmp},   // absurd request → CPU ceiling
+		{8, 3, min(3, gmp)},   // never more workers than queries
+		{4, 0, min(4, gmp)},   // zero queries: CPU ceiling only
+		{3, 1, 1},             // single query → serial
+	}
+	for _, c := range cases {
+		if got := clampWorkers(c.workers, c.queries); got != c.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", c.workers, c.queries, got, c.want)
 		}
 	}
 }

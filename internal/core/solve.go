@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"iq/internal/ese"
@@ -234,13 +235,36 @@ func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int,
 	return out
 }
 
-// evaluatorPool builds `workers` independent evaluators for one target
-// (minimum one). Each evaluator carries its own scratch state, so the pool
-// size bounds candidate-generation parallelism.
-func evaluatorPool(idx *subdomain.Index, target, workers int) ([]*ese.Evaluator, error) {
+// clampWorkers bounds a request's Workers knob to sane values: anything
+// below 1 (including negative) means serial, and there is no point building
+// more evaluators than there are queries to probe or CPUs to run them on.
+// GOMAXPROCS is the throughput ceiling, but at least two workers are always
+// allowed so the concurrent path stays exercised (and race-testable) on
+// single-CPU hosts — extra goroutines are harmless there, just not faster.
+func clampWorkers(workers, queries int) int {
 	if workers < 1 {
-		workers = 1
+		return 1
 	}
+	ceil := runtime.GOMAXPROCS(0)
+	if ceil < 2 {
+		ceil = 2
+	}
+	if workers > ceil {
+		workers = ceil
+	}
+	if queries > 0 && workers > queries {
+		workers = queries
+	}
+	return workers
+}
+
+// evaluatorPool builds `workers` (after clamping) independent evaluators
+// for one target. Each evaluator carries its own scratch state — the delta
+// buffers and rank caches are mutable — so evaluators are never shared
+// between goroutines; the pool size bounds candidate-generation
+// parallelism.
+func evaluatorPool(idx *subdomain.Index, target, workers int) ([]*ese.Evaluator, error) {
+	workers = clampWorkers(workers, idx.Workload().NumQueries())
 	pool := make([]*ese.Evaluator, workers)
 	for i := range pool {
 		ev, err := ese.New(idx, target)
@@ -254,6 +278,9 @@ func evaluatorPool(idx *subdomain.Index, target, workers int) ([]*ese.Evaluator,
 
 // bestRatio returns the candidate minimising cost per hit (Algorithm 3
 // line 9 / Algorithm 4 line 9); candidates that gain no hits are skipped.
+// Ties are broken deterministically — lower cost, then lower query index —
+// so parallel and serial candidate generation always pick the same winner
+// (see DESIGN.md, "Deterministic parallelism").
 func bestRatio(cands []Candidate, baseHits int) (Candidate, bool) {
 	best := Candidate{}
 	bestVal := 0.0
@@ -263,7 +290,10 @@ func bestRatio(cands []Candidate, baseHits int) (Candidate, bool) {
 			continue // no progress; a ratio over stale hits would stall
 		}
 		ratio := c.Cost / float64(c.Hits)
-		if !found || ratio < bestVal {
+		better := !found || ratio < bestVal ||
+			(ratio == bestVal && (c.Cost < best.Cost ||
+				(c.Cost == best.Cost && c.Query < best.Query)))
+		if better {
 			best, bestVal, found = c, ratio, true
 		}
 	}

@@ -26,6 +26,11 @@ type Evaluator struct {
 	idx    *subdomain.Index
 	w      *topk.Workload
 	target int
+	// epoch tags the cached state below with the index epoch it was
+	// derived from; every public entry point rebuilds when the index has
+	// mutated since (Algorithm 2's cached rankings are only valid within
+	// one index epoch).
+	epoch uint64
 
 	// rankBySub caches the target's candidate-restricted rank per
 	// subdomain. Sharing one rank per subdomain is valid only when the
@@ -69,10 +74,23 @@ func New(idx *subdomain.Index, target int) (*Evaluator, error) {
 	if w.IsRemoved(target) {
 		return nil, fmt.Errorf("ese: target %d is removed", target)
 	}
-	e := &Evaluator{idx: idx, w: w, target: target, rankBySub: map[int]int{}}
+	e := &Evaluator{idx: idx, w: w, target: target}
+	e.rebuild()
+	return e, nil
+}
+
+// rebuild recomputes every cached structure from the index's current state
+// and tags the evaluator with the index epoch.
+func (e *Evaluator) rebuild() {
+	w, idx := e.w, e.idx
+	e.epoch = idx.Epoch()
+	e.rankBySub = map[int]int{}
+	e.rankByQuery = nil
+	e.baseHits = 0
 	e.baseSet = map[int]bool{}
 	e.pairNormal = make(map[int]vec.Vector, len(idx.Candidates()))
 	e.deltaBuf = make([]int32, w.NumQueries())
+	e.touched = e.touched[:0]
 	dim := w.Space().QueryDim()
 	e.scratchNew = make(vec.Vector, dim)
 	// Query-domain bounding box for the slab prechecks.
@@ -86,7 +104,7 @@ func New(idx *subdomain.Index, target int) (*Evaluator, error) {
 		e.domainLo = vec.Min(e.domainLo, p)
 		e.domainHi = vec.Max(e.domainHi, p)
 	}
-	if !idx.IsCandidate(target) {
+	if !idx.IsCandidate(e.target) {
 		e.rankByQuery = make([]int, w.NumQueries())
 	}
 	for j := 0; j < w.NumQueries(); j++ {
@@ -99,9 +117,9 @@ func New(idx *subdomain.Index, target int) (*Evaluator, error) {
 		}
 		var rank int
 		if e.rankByQuery == nil {
-			rank = e.rankFor(s, w.Coeff(target))
+			rank = e.rankFor(s, w.Coeff(e.target))
 		} else {
-			rank = w.RankAmong(idx.Candidates(), w.Coeff(target), target, w.Query(j).Point)
+			rank = w.RankAmong(idx.Candidates(), w.Coeff(e.target), e.target, w.Query(j).Point)
 			e.rankByQuery[j] = rank
 		}
 		if rank <= w.Query(j).K {
@@ -109,7 +127,18 @@ func New(idx *subdomain.Index, target int) (*Evaluator, error) {
 			e.baseSet[j] = true
 		}
 	}
-	return e, nil
+}
+
+// ensureFresh invalidates and rebuilds the caches when the index has
+// mutated (a commit, or an object/query add/remove) since they were
+// computed. Under the epoch-snapshot System this never fires — each write
+// produces a new immutable index — but direct Index users who mutate in
+// place get correct answers instead of stale ranks or out-of-range buffer
+// accesses.
+func (e *Evaluator) ensureFresh() {
+	if e.idx.Epoch() != e.epoch {
+		e.rebuild()
+	}
 }
 
 // baseRank returns the target's pre-improvement candidate rank at query j.
@@ -128,10 +157,16 @@ func (e *Evaluator) baseRank(j int) int {
 func (e *Evaluator) Target() int { return e.target }
 
 // BaseHits returns H(p_i), the hit count of the unimproved target.
-func (e *Evaluator) BaseHits() int { return e.baseHits }
+func (e *Evaluator) BaseHits() int {
+	e.ensureFresh()
+	return e.baseHits
+}
 
 // BaseHit reports whether the unimproved target hits query j.
-func (e *Evaluator) BaseHit(j int) bool { return e.baseSet[j] }
+func (e *Evaluator) BaseHit(j int) bool {
+	e.ensureFresh()
+	return e.baseSet[j]
+}
 
 // rankFor returns (and caches) the target-coefficient rank within subdomain
 // s, counted among the candidate objects at the representative query point —
@@ -161,6 +196,7 @@ func (e *Evaluator) Hits(s vec.Vector) (int, error) {
 // the affected subspaces against every intersecting competitor, collect the
 // rank switches, and patch the cached per-subdomain ranks.
 func (e *Evaluator) HitsWithCoeff(newCoeff vec.Vector) int {
+	e.ensureFresh()
 	oldCoeff := e.w.Coeff(e.target)
 	if vec.Equal(oldCoeff, newCoeff) {
 		return e.baseHits
@@ -221,6 +257,7 @@ func (e *Evaluator) resetDeltas() {
 // newCoeff; used by the combinatorial (multi-target) algorithms which must
 // de-duplicate hits across targets.
 func (e *Evaluator) HitSet(newCoeff vec.Vector) map[int]bool {
+	e.ensureFresh()
 	oldCoeff := e.w.Coeff(e.target)
 	out := make(map[int]bool, e.baseHits)
 	for j := range e.baseSet {

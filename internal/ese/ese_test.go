@@ -249,3 +249,88 @@ func TestStatsProgress(t *testing.T) {
 		t.Error("Target accessor")
 	}
 }
+
+// A live evaluator must not serve stale cached ranks after the index
+// mutates underneath it: its caches are epoch-tagged and rebuild on the
+// next call. Regression test for the Algorithm 2 patching precondition —
+// cached per-subdomain rankings are only valid within one index epoch.
+func TestEvaluatorCacheInvalidatedByCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	idx := buildFixture(t, rng, 80, 50, 3, 3)
+	w := idx.Workload()
+	target := 5
+	e, err := New(idx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.BaseHits()
+
+	// Commit an aggressive improvement to a *different* object: rankings
+	// shift under the evaluator's cached per-subdomain ranks.
+	other := 17
+	improved := vec.Scale(w.Attrs(other), 0.1)
+	if err := idx.UpdateObject(other, improved); err != nil {
+		t.Fatal(err)
+	}
+
+	// Base hits must now match a fresh brute-force recount, not the
+	// pre-commit cache.
+	want, err := w.HitsExact(w.Attrs(target), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.BaseHits(); got != want {
+		t.Fatalf("stale cache: BaseHits %d (pre-commit %d), brute force %d", got, before, want)
+	}
+
+	// Strategy evaluation after the commit must also match brute force.
+	for trial := 0; trial < 20; trial++ {
+		s := vec.Vector{-0.3 * rng.Float64(), -0.3 * rng.Float64(), -0.3 * rng.Float64()}
+		got, err := e.Hits(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := w.HitsExact(vec.Add(w.Attrs(target), s), target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: post-commit ESE %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+// Adding and removing queries/objects after evaluator construction must
+// neither panic (the delta buffer is sized to the query count at build
+// time) nor return stale counts.
+func TestEvaluatorSurvivesSubdomainUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	idx := buildFixture(t, rng, 60, 30, 3, 3)
+	w := idx.Workload()
+	target := 3
+	e, err := New(idx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.AddQuery(topk.Query{ID: 500, K: 2, Point: vec.Vector{0.4, 0.3, 0.3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.AddObject(vec.Vector{0.15, 0.2, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.RemoveQuery(7); err != nil {
+		t.Fatal(err)
+	}
+	s := vec.Vector{-0.2, -0.1, -0.15}
+	got, err := e.Hits(s) // would index out of range on the stale buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.HitsExact(vec.Add(w.Attrs(target), s), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("after updates: ESE %d, brute force %d", got, want)
+	}
+}

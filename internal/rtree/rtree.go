@@ -134,6 +134,30 @@ func New(dim, maxEntries int) *Tree {
 // Dim returns the tree's dimensionality.
 func (t *Tree) Dim() int { return t.dim }
 
+// Clone returns an independent copy of the tree for copy-on-write updates.
+// Node structures and entry slices are duplicated so inserts and deletes on
+// either tree never affect the other; the stored point vectors and rect
+// bounds are shared because the tree never writes into them in place (rects
+// are replaced wholesale when recomputed).
+func (t *Tree) Clone() *Tree {
+	c := &Tree{dim: t.dim, size: t.size, maxEntries: t.maxEntries, minEntries: t.minEntries}
+	c.root = cloneNode(t.root, nil)
+	return c
+}
+
+func cloneNode(n *node, parent *node) *node {
+	c := &node{leaf: n.leaf, rect: n.rect, parent: parent}
+	if n.leaf {
+		c.entries = append([]Entry(nil), n.entries...)
+		return c
+	}
+	c.children = make([]*node, len(n.children))
+	for i, child := range n.children {
+		c.children[i] = cloneNode(child, c)
+	}
+	return c
+}
+
 // Len returns the number of stored entries.
 func (t *Tree) Len() int { return t.size }
 

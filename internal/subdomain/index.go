@@ -88,6 +88,11 @@ type Index struct {
 	// intersectionsProcessed counts Algorithm 1 split steps, reported by
 	// the benchmark harness.
 	intersectionsProcessed int
+	// epoch increments on every mutating operation (object/query add,
+	// remove, update). Consumers that cache derived state — the ESE
+	// evaluator's per-subdomain ranks — tag their caches with it and
+	// rebuild when it moves.
+	epoch uint64
 }
 
 // Build constructs the index over the workload per Algorithm 1.
@@ -458,6 +463,55 @@ func (x *Index) boxFilteredPairs(lo, hi vec.Vector) [][2]int {
 
 // Workload returns the underlying workload.
 func (x *Index) Workload() *topk.Workload { return x.w }
+
+// Epoch returns the index's mutation counter. It changes whenever an
+// object or query is added, removed, or updated, invalidating any caches
+// derived from the index's groupings.
+func (x *Index) Epoch() uint64 { return x.epoch }
+
+// Clone returns an independent copy of the index bound to workload w, which
+// must be a Clone of the index's current workload (the two structures are
+// updated in lockstep, so they must be snapshotted together). All grouping
+// state — subdomains, boundary tables, the query R-tree, and the Bloom
+// filter — is deep-copied; mutating either index afterwards never affects
+// the other. This is the write-path primitive for epoch-based snapshots:
+// writers clone, mutate the clone, and publish it, while in-flight readers
+// keep their immutable epoch.
+func (x *Index) Clone(w *topk.Workload) *Index {
+	c := &Index{
+		w:                      w,
+		opts:                   x.opts,
+		tree:                   x.tree.Clone(),
+		subs:                   make(map[int]*Subdomain, len(x.subs)),
+		queryToSub:             append([]int(nil), x.queryToSub...),
+		removedQ:               make(map[int]bool, len(x.removedQ)),
+		nextSubID:              x.nextSubID,
+		candidates:             append([]int(nil), x.candidates...),
+		candSet:                make(map[int]bool, len(x.candSet)),
+		boundaryFilter:         x.boundaryFilter.Clone(),
+		boundaryIndex:          make(map[[2]int][]int, len(x.boundaryIndex)),
+		intersectionsProcessed: x.intersectionsProcessed,
+		epoch:                  x.epoch,
+	}
+	for id, s := range x.subs {
+		c.subs[id] = &Subdomain{
+			ID:         s.ID,
+			Boundaries: append([]Boundary(nil), s.Boundaries...),
+			Queries:    append([]int(nil), s.Queries...),
+			rep:        s.rep,
+		}
+	}
+	for j := range x.removedQ {
+		c.removedQ[j] = true
+	}
+	for id := range x.candSet {
+		c.candSet[id] = true
+	}
+	for key, subs := range x.boundaryIndex {
+		c.boundaryIndex[key] = append([]int(nil), subs...)
+	}
+	return c
+}
 
 // Candidates returns the skyband candidate object indices.
 func (x *Index) Candidates() []int { return x.candidates }

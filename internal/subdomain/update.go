@@ -20,6 +20,7 @@ func (x *Index) AddQuery(q topk.Query) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	x.epoch++
 	point := x.w.Query(j).Point
 	x.tree.Insert(point, j)
 	x.queryToSub = append(x.queryToSub, -1)
@@ -77,6 +78,7 @@ func (x *Index) RemoveQuery(j int) error {
 	if !x.tree.Delete(point, j) {
 		return fmt.Errorf("subdomain: query %d missing from R-tree", j)
 	}
+	x.epoch++
 	subID := x.queryToSub[j]
 	s := x.subs[subID]
 	for i, q := range s.Queries {
@@ -122,6 +124,7 @@ func (x *Index) AddObject(attrs vec.Vector) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	x.epoch++
 	// Does the new object join the candidate set? Conservative test: count
 	// skyband-style dominators among current candidates.
 	kLimit := x.w.MaxK() + x.opts.Slack
@@ -163,6 +166,7 @@ func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
 	if err := x.w.UpdateObject(id, attrs); err != nil {
 		return err
 	}
+	x.epoch++
 	// Recompute the candidate set; remember promotions.
 	oldSet := x.candSet
 	x.candidates = x.w.Candidates(x.opts.Slack)
@@ -233,6 +237,7 @@ func (x *Index) RemoveObject(id int) error {
 		return fmt.Errorf("subdomain: object %d already removed", id)
 	}
 	x.w.RemoveObject(id)
+	x.epoch++
 	if !x.candSet[id] {
 		return nil // never partitioned anything
 	}

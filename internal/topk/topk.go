@@ -81,6 +81,22 @@ func NewWorkload(space Space, attrs []vec.Vector, queries []Query) (*Workload, e
 // Space returns the workload's embedding space.
 func (w *Workload) Space() Space { return w.space }
 
+// Clone returns an independent copy of the workload for copy-on-write
+// updates: all bookkeeping slices are copied so mutations of the clone never
+// touch the original, while the element vectors (attributes, coefficients,
+// query points) are shared — they are immutable by convention (UpdateObject
+// replaces them, nothing writes into them) and the space itself is
+// stateless after construction.
+func (w *Workload) Clone() *Workload {
+	c := &Workload{space: w.space, maxK: w.maxK}
+	c.attrs = append([]vec.Vector(nil), w.attrs...)
+	c.coeffs = append([]vec.Vector(nil), w.coeffs...)
+	c.removed = append([]bool(nil), w.removed...)
+	c.queries = append([]Query(nil), w.queries...)
+	c.removedQ = append([]bool(nil), w.removedQ...)
+	return c
+}
+
 // NumObjects returns the dataset size.
 func (w *Workload) NumObjects() int { return len(w.attrs) }
 

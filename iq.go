@@ -34,6 +34,8 @@ package iq
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"iq/internal/core"
 	"iq/internal/ese"
@@ -111,13 +113,61 @@ type IndexStats = subdomain.Stats
 
 // System bundles a workload (objects + queries + embedding space) with its
 // subdomain index and answers improvement queries. Build one with New or
-// NewLinear; it is not safe for concurrent mutation, but read-only query
-// answering may run from multiple goroutines as long as no Add/Remove/
-// Update/commit call is concurrent.
+// NewLinear.
+//
+// A System is safe for unbounded concurrent use. Reads (MinCost, MaxHit,
+// Evaluate, Hits, EvaluateStrategy, TopK, Stats, …) run lock-free against an
+// immutable epoch snapshot of the workload and index; writes (Commit,
+// AddObject, RemoveObject, AddQuery, RemoveQuery) serialise behind a mutex,
+// apply copy-on-write to a clone of the current epoch, and atomically
+// publish the result. A commit that lands mid-read therefore never corrupts
+// the in-progress evaluation: the reader finishes against the epoch it
+// started with, and the next read observes the new one.
 type System struct {
-	w   *topk.Workload
-	idx *subdomain.Index
+	// mu serialises writers; readers never take it.
+	mu  sync.Mutex
+	cur atomic.Pointer[state]
 }
+
+// state is one immutable epoch: a workload/index pair that is never mutated
+// after publication. The two are cloned and replaced together — an index is
+// only ever paired with the workload it was built against.
+type state struct {
+	w     *topk.Workload
+	idx   *subdomain.Index
+	epoch uint64
+}
+
+// view returns the current epoch snapshot.
+func (s *System) view() *state { return s.cur.Load() }
+
+// publish installs st as the initial epoch.
+func newSystem(w *topk.Workload, idx *subdomain.Index) *System {
+	s := &System{}
+	s.cur.Store(&state{w: w, idx: idx})
+	return s
+}
+
+// mutate runs fn against a private clone of the current epoch under the
+// writer lock and publishes the clone when fn succeeds. On error the clone
+// is discarded and the visible state is unchanged — failed writes are
+// all-or-nothing.
+func (s *System) mutate(fn func(st *state) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	w := old.w.Clone()
+	next := &state{w: w, idx: old.idx.Clone(w), epoch: old.epoch + 1}
+	if err := fn(next); err != nil {
+		return err
+	}
+	s.cur.Store(next)
+	return nil
+}
+
+// Epoch returns the number of committed writes. Two reads returning the
+// same epoch were answered from the same immutable snapshot.
+func (s *System) Epoch() uint64 { return s.view().epoch }
 
 // New builds a System over an arbitrary embedding space.
 func New(space Space, objects []Vector, queries []Query) (*System, error) {
@@ -134,7 +184,7 @@ func NewWithOptions(space Space, objects []Vector, queries []Query, opts IndexOp
 	if err != nil {
 		return nil, err
 	}
-	return &System{w: w, idx: idx}, nil
+	return newSystem(w, idx), nil
 }
 
 func buildIndex(w *topk.Workload, opts IndexOptions) (*subdomain.Index, error) {
@@ -153,39 +203,39 @@ func NewLinear(objects []Vector, queries []Query) (*System, error) {
 // MinCost answers a Min-Cost improvement query (Definition 2 /
 // Algorithm 3).
 func (s *System) MinCost(req MinCostRequest) (*Result, error) {
-	return core.MinCostIQ(s.idx, req)
+	return core.MinCostIQ(s.view().idx, req)
 }
 
 // MaxHit answers a Max-Hit improvement query (Definition 3 / Algorithm 4).
 func (s *System) MaxHit(req MaxHitRequest) (*Result, error) {
-	return core.MaxHitIQ(s.idx, req)
+	return core.MaxHitIQ(s.view().idx, req)
 }
 
 // MinCostMulti answers a combinatorial Min-Cost IQ over several targets
 // (Section 5.1).
 func (s *System) MinCostMulti(specs []TargetSpec, tau int) (*MultiResult, error) {
-	return core.CombinatorialMinCostIQ(s.idx, specs, tau)
+	return core.CombinatorialMinCostIQ(s.view().idx, specs, tau)
 }
 
 // MaxHitMulti answers a combinatorial Max-Hit IQ over several targets.
 func (s *System) MaxHitMulti(specs []TargetSpec, budget float64) (*MultiResult, error) {
-	return core.CombinatorialMaxHitIQ(s.idx, specs, budget)
+	return core.CombinatorialMaxHitIQ(s.view().idx, specs, budget)
 }
 
 // MinCostExhaustive runs the optimal (exponential-time) solver; only
 // feasible for very small inputs, as the paper notes.
 func (s *System) MinCostExhaustive(req MinCostRequest) (*Result, error) {
-	return core.ExhaustiveMinCost(s.idx, req)
+	return core.ExhaustiveMinCost(s.view().idx, req)
 }
 
 // MaxHitExhaustive runs the optimal Max-Hit solver for tiny inputs.
 func (s *System) MaxHitExhaustive(req MaxHitRequest) (*Result, error) {
-	return core.ExhaustiveMaxHit(s.idx, req)
+	return core.ExhaustiveMaxHit(s.view().idx, req)
 }
 
 // Hits returns H(p), the number of queries object target currently hits.
 func (s *System) Hits(target int) (int, error) {
-	ev, err := ese.New(s.idx, target)
+	ev, err := ese.New(s.view().idx, target)
 	if err != nil {
 		return 0, err
 	}
@@ -194,54 +244,122 @@ func (s *System) Hits(target int) (int, error) {
 
 // Evaluate answers a plain top-k query against the dataset.
 func (s *System) Evaluate(q Query) []int {
-	res := s.w.Evaluate(q)
+	res := s.view().w.Evaluate(q)
 	return res.Ordered
 }
 
 // EvaluateStrategy returns H(p+strategy) without committing anything — the
 // "what would happen if" primitive (Algorithm 2 directly).
 func (s *System) EvaluateStrategy(target int, strategy Vector) (int, error) {
-	ev, err := ese.New(s.idx, target)
+	st := s.view()
+	if err := checkStrategy(st.w, target, strategy); err != nil {
+		return 0, err
+	}
+	ev, err := ese.New(st.idx, target)
 	if err != nil {
 		return 0, err
 	}
 	return ev.Hits(strategy)
 }
 
-// Commit permanently applies a strategy to a target, updating the dataset
-// and the index.
+// checkStrategy validates a (target, strategy) pair against a workload so
+// malformed API input surfaces as an error instead of a vector-arithmetic
+// panic deep in the engine.
+func checkStrategy(w *topk.Workload, target int, strategy Vector) error {
+	if target < 0 || target >= w.NumObjects() {
+		return fmt.Errorf("iq: target %d out of range", target)
+	}
+	if d := len(w.Attrs(target)); len(strategy) != d {
+		return fmt.Errorf("iq: strategy has %d dimensions, want %d", len(strategy), d)
+	}
+	return nil
+}
+
+// Commit permanently applies a strategy to a target, publishing a new
+// epoch with the updated dataset and index.
 func (s *System) Commit(target int, strategy Vector) error {
-	return s.idx.UpdateObject(target, vec.Add(s.w.Attrs(target), strategy))
+	return s.mutate(func(st *state) error {
+		if err := checkStrategy(st.w, target, strategy); err != nil {
+			return err
+		}
+		return st.idx.UpdateObject(target, vec.Add(st.w.Attrs(target), strategy))
+	})
+}
+
+// CommitAndCount applies a strategy and returns the target's hit count in
+// the newly published epoch, atomically with respect to other writers.
+func (s *System) CommitAndCount(target int, strategy Vector) (int, error) {
+	hits := 0
+	err := s.mutate(func(st *state) error {
+		if err := checkStrategy(st.w, target, strategy); err != nil {
+			return err
+		}
+		if err := st.idx.UpdateObject(target, vec.Add(st.w.Attrs(target), strategy)); err != nil {
+			return err
+		}
+		ev, err := ese.New(st.idx, target)
+		if err != nil {
+			return err
+		}
+		hits = ev.BaseHits()
+		return nil
+	})
+	return hits, err
 }
 
 // AddObject inserts a new object and returns its index.
-func (s *System) AddObject(attrs Vector) (int, error) { return s.idx.AddObject(attrs) }
+func (s *System) AddObject(attrs Vector) (int, error) {
+	id := 0
+	err := s.mutate(func(st *state) error {
+		var err error
+		id, err = st.idx.AddObject(attrs)
+		return err
+	})
+	return id, err
+}
 
 // RemoveObject tombstones an object.
-func (s *System) RemoveObject(id int) error { return s.idx.RemoveObject(id) }
+func (s *System) RemoveObject(id int) error {
+	return s.mutate(func(st *state) error { return st.idx.RemoveObject(id) })
+}
 
 // AddQuery inserts a new top-k query and returns its index.
-func (s *System) AddQuery(q Query) (int, error) { return s.idx.AddQuery(q) }
+func (s *System) AddQuery(q Query) (int, error) {
+	j := 0
+	err := s.mutate(func(st *state) error {
+		var err error
+		j, err = st.idx.AddQuery(q)
+		return err
+	})
+	return j, err
+}
 
 // RemoveQuery removes a query from the workload index.
-func (s *System) RemoveQuery(j int) error { return s.idx.RemoveQuery(j) }
+func (s *System) RemoveQuery(j int) error {
+	return s.mutate(func(st *state) error { return st.idx.RemoveQuery(j) })
+}
 
 // NumObjects returns the dataset size (including tombstoned objects).
-func (s *System) NumObjects() int { return s.w.NumObjects() }
+func (s *System) NumObjects() int { return s.view().w.NumObjects() }
 
 // NumQueries returns the query workload size.
-func (s *System) NumQueries() int { return s.w.NumQueries() }
+func (s *System) NumQueries() int { return s.view().w.NumQueries() }
 
 // Attrs returns a copy of an object's current attributes.
-func (s *System) Attrs(id int) Vector { return vec.Clone(s.w.Attrs(id)) }
+func (s *System) Attrs(id int) Vector { return vec.Clone(s.view().w.Attrs(id)) }
 
 // IndexStats reports the subdomain index footprint.
-func (s *System) IndexStats() IndexStats { return s.idx.Stats() }
+func (s *System) IndexStats() IndexStats { return s.view().idx.Stats() }
 
 // Internal accessors for the benchmark harness and tools.
 
-// Workload exposes the underlying workload (read-mostly).
-func (s *System) Workload() *topk.Workload { return s.w }
+// Workload exposes the current epoch's workload. The returned structure is
+// immutable — a later write to the System publishes a new workload rather
+// than mutating this one — so pointer equality across two calls means no
+// write intervened.
+func (s *System) Workload() *topk.Workload { return s.view().w }
 
-// Index exposes the subdomain index.
-func (s *System) Index() *subdomain.Index { return s.idx }
+// Index exposes the current epoch's subdomain index (immutable, like
+// Workload). Callers needing a consistent workload/index pair should use
+// Index().Workload() rather than two separate System calls.
+func (s *System) Index() *subdomain.Index { return s.view().idx }

@@ -85,24 +85,27 @@ type snapshot struct {
 const snapshotVersion = 1
 
 // Save writes the System to w. The subdomain index is rebuilt on Load.
+// The snapshot is taken from a single epoch: a concurrent commit either
+// lands entirely before or entirely after the saved state.
 func (s *System) Save(w io.Writer) error {
-	spec, err := specOf(s.w.Space())
+	st := s.view()
+	spec, err := specOf(st.w.Space())
 	if err != nil {
 		return err
 	}
 	snap := snapshot{Version: snapshotVersion, Space: spec}
-	n := s.w.NumObjects()
+	n := st.w.NumObjects()
 	snap.Objects = make([]vec.Vector, n)
 	snap.Removed = make([]bool, n)
 	for i := 0; i < n; i++ {
-		snap.Objects[i] = s.w.Attrs(i)
-		snap.Removed[i] = s.w.IsRemoved(i)
+		snap.Objects[i] = st.w.Attrs(i)
+		snap.Removed[i] = st.w.IsRemoved(i)
 	}
-	for j := 0; j < s.w.NumQueries(); j++ {
-		if s.idx.SubdomainOf(j) == nil {
+	for j := 0; j < st.w.NumQueries(); j++ {
+		if st.idx.SubdomainOf(j) == nil {
 			continue // removed from the index; compact it away
 		}
-		q := s.w.Query(j)
+		q := st.w.Query(j)
 		snap.QueryID = append(snap.QueryID, q.ID)
 		snap.QueryK = append(snap.QueryK, q.K)
 		snap.QueryPt = append(snap.QueryPt, q.Point)
@@ -137,11 +140,9 @@ func Load(r io.Reader) (*System, error) {
 			w.RemoveObject(i)
 		}
 	}
-	sys := &System{w: w}
 	idx, err := buildIndex(w, snap.Options)
 	if err != nil {
 		return nil, err
 	}
-	sys.idx = idx
-	return sys, nil
+	return newSystem(w, idx), nil
 }

@@ -176,3 +176,78 @@ func TestSnapshotSizeSanity(t *testing.T) {
 		t.Errorf("snapshot size %d bytes looks wrong", buf.Len())
 	}
 }
+
+// TestSaveLoadExprCostAnswers round-trips a System over a non-linear
+// expression space and asserts the *answers* survive, not just the data:
+// MinCost and MaxHit under a custom expression cost must return identical
+// strategies, costs and hit counts before save and after load.
+func TestSaveLoadExprCostAnswers(t *testing.T) {
+	space, err := NewExprSpace("w1 * sqrt(a) + w2 * (a * b)", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	objs := make([]Vector, 50)
+	for i := range objs {
+		objs[i] = Vector{0.2 + 0.8*rng.Float64(), 0.2 + 0.8*rng.Float64()}
+	}
+	queries := make([]Query, 25)
+	for j := range queries {
+		queries[j] = Query{ID: j, K: 1 + rng.Intn(3),
+			Point: Vector{0.05 + rng.Float64(), 0.05 + rng.Float64()}}
+	}
+	sys, err := New(space, objs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := NewExprCost("sqrt(2*s1^2 + s2^2)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for target := 0; target < 8; target++ {
+		pre, preErr := sys.MinCost(MinCostRequest{Target: target, Tau: 4, Cost: cost})
+		post, postErr := loaded.MinCost(MinCostRequest{Target: target, Tau: 4, Cost: cost})
+		if (preErr == nil) != (postErr == nil) {
+			t.Fatalf("target %d: MinCost error diverged across reload: %v vs %v", target, preErr, postErr)
+		}
+		if preErr == nil {
+			if pre.Cost != post.Cost || pre.Hits != post.Hits || len(pre.Strategy) != len(post.Strategy) {
+				t.Fatalf("target %d: MinCost diverged across reload: cost %v/%v hits %d/%d",
+					target, pre.Cost, post.Cost, pre.Hits, post.Hits)
+			}
+			for d := range pre.Strategy {
+				if pre.Strategy[d] != post.Strategy[d] {
+					t.Fatalf("target %d: MinCost strategy differs at dim %d: %v vs %v",
+						target, d, pre.Strategy, post.Strategy)
+				}
+			}
+		}
+
+		preH, preErr := sys.MaxHit(MaxHitRequest{Target: target, Budget: 0.4, Cost: cost})
+		postH, postErr := loaded.MaxHit(MaxHitRequest{Target: target, Budget: 0.4, Cost: cost})
+		if (preErr == nil) != (postErr == nil) {
+			t.Fatalf("target %d: MaxHit error diverged across reload: %v vs %v", target, preErr, postErr)
+		}
+		if preErr == nil {
+			if preH.Cost != postH.Cost || preH.Hits != postH.Hits {
+				t.Fatalf("target %d: MaxHit diverged across reload: cost %v/%v hits %d/%d",
+					target, preH.Cost, postH.Cost, preH.Hits, postH.Hits)
+			}
+			for d := range preH.Strategy {
+				if preH.Strategy[d] != postH.Strategy[d] {
+					t.Fatalf("target %d: MaxHit strategy differs at dim %d", target, d)
+				}
+			}
+		}
+	}
+}
