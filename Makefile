@@ -2,9 +2,12 @@ GO ?= go
 
 .PHONY: check build vet test race stress bench
 
-# check is the CI entry point: build everything, vet, run the full suite
-# under the race detector, then re-run the concurrency stress tests twice
-# to shake out scheduling-dependent interleavings.
+# check is the CI entry point: build everything, vet, run the suite under
+# the race detector (-short: the stress tests are excluded there), then
+# re-run the concurrency stress tests twice to shake out
+# scheduling-dependent interleavings. Every test run carries an explicit
+# -timeout so a hung solve fails fast with a goroutine dump instead of
+# stalling CI at the per-package default.
 check: build vet race stress
 
 build:
@@ -14,13 +17,13 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 5m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short -timeout 5m ./...
 
 stress:
-	$(GO) test -race -run TestStress -count=2 ./...
+	$(GO) test -race -run TestStress -count=2 -timeout 10m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -1,24 +1,102 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	flag.Parse()
-	logger := log.New(os.Stderr, "iqserver ", log.LstdFlags)
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(logger).handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+// appConfig is the full operational envelope, one field per flag.
+type appConfig struct {
+	addr           string
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	maxInflight    int
+	maxBodyBytes   int64
+}
+
+// newHTTPServer assembles the hardened http.Server around the API handler.
+// The write timeout must outlast the longest admitted solve, so it is the
+// request timeout plus slack for serialisation; with no request timeout it
+// is unbounded (the operator opted out of deadlines entirely).
+func newHTTPServer(cfg appConfig, logger *log.Logger) *http.Server {
+	api := newServer(logger, serverConfig{
+		requestTimeout: cfg.requestTimeout,
+		maxInflight:    cfg.maxInflight,
+		maxBodyBytes:   cfg.maxBodyBytes,
+	})
+	var writeTimeout time.Duration
+	if cfg.requestTimeout > 0 {
+		writeTimeout = cfg.requestTimeout + 10*time.Second
 	}
-	logger.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	return &http.Server{
+		Addr:              cfg.addr,
+		Handler:           api.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          logger,
+	}
+}
+
+// run serves ln until ctx is cancelled (SIGINT/SIGTERM in production), then
+// shuts down gracefully: the listener closes immediately, in-flight requests
+// get up to drain to finish, and only past that deadline are their
+// connections severed. Returns nil on a clean drain.
+func run(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logger *log.Logger) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed outright; nothing to drain
+	case <-ctx.Done():
+	}
+	logger.Printf("shutdown: draining in-flight requests (up to %s)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Printf("shutdown: drain deadline exceeded, severing connections: %v", err)
+		srv.Close()
+		return err
+	}
+	logger.Printf("shutdown: drained cleanly")
+	return nil
+}
+
+func main() {
+	defaults := defaultConfig()
+	var cfg appConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", defaults.requestTimeout,
+		"per-request solve deadline; a request's timeout_ms may tighten but never exceed it (0 disables)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second,
+		"how long graceful shutdown waits for in-flight requests before severing them")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", defaults.maxInflight,
+		"max concurrently admitted solver requests; excess get 429 (0 = unlimited)")
+	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", defaults.maxBodyBytes,
+		"max request body size in bytes; larger bodies get 413 (0 = unlimited)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "iqserver ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv := newHTTPServer(cfg, logger)
+	logger.Printf("listening on %s (request-timeout=%s max-inflight=%d max-body-bytes=%d)",
+		ln.Addr(), cfg.requestTimeout, cfg.maxInflight, cfg.maxBodyBytes)
+	if err := run(ctx, srv, ln, cfg.drainTimeout, logger); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}
 }

@@ -8,28 +8,65 @@
 //
 //	POST /v1/load        {objects, queries}            -> {objects, queries}
 //	GET  /v1/stats                                     -> index statistics
-//	POST /v1/mincost     {target, tau, cost?, frozen?, workers?}
-//	POST /v1/maxhit      {target, budget, cost?, frozen?, workers?}
+//	POST /v1/mincost     {target, tau, cost?, frozen?, workers?, timeout_ms?}
+//	POST /v1/maxhit      {target, budget, cost?, frozen?, workers?, timeout_ms?}
 //	POST /v1/evaluate    {target, strategy}            -> {hits}
 //	POST /v1/commit      {target, strategy}            -> {hits}
 //	POST /v1/objects     {attrs}                       -> {id}
 //	POST /v1/queries     {k, point}                    -> {index}
 //	POST /v1/topk        {k, point}                    -> {ids}
+//	GET  /healthz                                      -> process liveness
+//	GET  /readyz                                       -> dataset loaded?
 //
 // Cost selectors: "l2" (default), "l1", {"weighted": [α...]}, or
 // {"expr": "sqrt(s1^2+...)"}.
+//
+// Failure model: every solver request runs under a deadline (the server-wide
+// -request-timeout, optionally tightened per request with timeout_ms) and is
+// admitted through a bounded in-flight semaphore (-max-inflight; overflow
+// answers 429 with Retry-After instead of queueing). Bodies are capped
+// (-max-body-bytes → 413), handler panics surface as JSON 500s, and a
+// deadline or client disconnect cancels the solve inside the engine — the
+// partial greedy state is discarded, never committed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"iq"
 )
+
+// serverConfig bounds one server's resource envelope. The zero value of a
+// field disables that bound (no deadline, unlimited admission); main always
+// passes explicit values from flags.
+type serverConfig struct {
+	// requestTimeout caps every solver request's deadline; a request's
+	// timeout_ms may tighten it but never loosen it. 0 = no deadline.
+	requestTimeout time.Duration
+	// maxInflight bounds concurrently admitted solver requests
+	// (/v1/mincost, /v1/maxhit); excess requests are refused with 429
+	// rather than queued. 0 = unlimited.
+	maxInflight int
+	// maxBodyBytes caps request body size; larger bodies answer 413.
+	// 0 = unlimited.
+	maxBodyBytes int64
+}
+
+func defaultConfig() serverConfig {
+	return serverConfig{
+		requestTimeout: 30 * time.Second,
+		maxInflight:    16,
+		maxBodyBytes:   8 << 20, // 8 MiB: a /v1/load of ~100k 3-d objects
+	}
+}
 
 // server wraps a System with an HTTP handler. iq.System is itself safe for
 // concurrent use (reads run against immutable epoch snapshots; writes
@@ -44,6 +81,10 @@ type server struct {
 	mu  sync.RWMutex
 	sys *iq.System
 	log *log.Logger
+	cfg serverConfig
+	// inflight is the admission semaphore for the solver endpoints; nil
+	// when admission is unlimited.
+	inflight chan struct{}
 }
 
 // system returns the current System pointer without holding the lock past
@@ -54,23 +95,69 @@ func (s *server) system() *iq.System {
 	return s.sys
 }
 
-func newServer(logger *log.Logger) *server {
-	return &server{log: logger}
+func newServer(logger *log.Logger, cfg serverConfig) *server {
+	s := &server{log: logger, cfg: cfg}
+	if cfg.maxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.maxInflight)
+	}
+	return s
 }
 
-// handler builds the route table.
+// handler builds the route table. Every route passes through the
+// panic-recovery middleware; the solver endpoints additionally pass through
+// the admission semaphore.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/mincost", s.handleMinCost)
-	mux.HandleFunc("POST /v1/maxhit", s.handleMaxHit)
+	mux.Handle("POST /v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
+	mux.Handle("POST /v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/commit", s.handleCommit)
 	mux.HandleFunc("POST /v1/objects", s.handleAddObject)
 	mux.HandleFunc("POST /v1/queries", s.handleAddQuery)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a JSON 500 on the assumption
+// that nothing has been written yet (handlers write exactly once, at the
+// end) — without it the connection is just severed mid-air. The stack goes
+// to the server log, not the client.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Printf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				s.writeErr(w, http.StatusInternalServerError, errors.New("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit bounds the number of concurrently running solver requests. The
+// refusal is immediate — no queueing — so under overload clients get a fast
+// 429 + Retry-After and can back off, instead of piling onto a server that
+// is already saturated (the engine parallelises within a solve; stacking
+// solves only adds memory pressure and tail latency).
+func (s *server) admit(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.writeErr(w, http.StatusTooManyRequests,
+				fmt.Errorf("solver at capacity (%d in flight); retry later", s.cfg.maxInflight))
+		}
+	})
 }
 
 // --- wire types ---
@@ -99,6 +186,9 @@ type iqRequest struct {
 	Cost    *costWire `json:"cost,omitempty"`
 	Frozen  []int     `json:"frozen,omitempty"`
 	Workers int       `json:"workers,omitempty"`
+	// TimeoutMS tightens the server's request timeout for this solve; it
+	// is capped at (never extends) the -request-timeout flag.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 type iqResponse struct {
@@ -118,40 +208,107 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// writeJSON writes v as the response. Encoding failures can no longer
+// produce a half-written body silently: they are logged, which is all that
+// can be done once the status line is on the wire.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("writeJSON: encoding %T: %v", v, err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func (s *server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func decode(r *http.Request, v interface{}) error {
-	dec := json.NewDecoder(r.Body)
+// decode parses the request body into v, enforcing the body-size cap (413),
+// rejecting unknown fields and malformed JSON (400), and rejecting trailing
+// data after the JSON value (400) — previously `{"target":0}{"target":9}`
+// silently dropped the second object. On failure the error response has
+// already been written and decode returns false.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	body := r.Body
+	if s.cfg.maxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		s.writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	if dec.More() {
+		s.writeErr(w, http.StatusBadRequest, errors.New("unexpected data after JSON body"))
+		return false
+	}
+	return true
+}
+
+// solveContext derives the context a solver request runs under: the client's
+// connection context (cancelled when the client disconnects), bounded by the
+// server-wide request timeout, optionally tightened — never loosened — by
+// the request's timeout_ms.
+func (s *server) solveContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.requestTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
 }
 
 // statusFor maps library errors to HTTP codes.
 func statusFor(err error) int {
-	if errors.Is(err, iq.ErrGoalUnreachable) {
+	switch {
+	case errors.Is(err, iq.ErrGoalUnreachable):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, iq.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, iq.ErrCanceled):
+		// The client is usually gone (disconnect) when this fires; the
+		// status is for the log and the rare proxy still listening.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
 
 // --- handlers ---
 
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness: the process is only useful once a dataset
+// is loaded, so load balancers should route solver traffic elsewhere until
+// then.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.system() == nil {
+		s.writeErr(w, http.StatusServiceUnavailable, errors.New("no dataset loaded"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Objects) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("no objects"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("no objects"))
 		return
 	}
 	queries := make([]iq.Query, len(req.Queries))
@@ -160,14 +317,14 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	sys, err := iq.NewLinear(req.Objects, queries)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	s.sys = sys
 	s.mu.Unlock()
 	s.log.Printf("loaded %d objects, %d queries", len(req.Objects), len(queries))
-	writeJSON(w, http.StatusOK, map[string]int{
+	s.writeJSON(w, http.StatusOK, map[string]int{
 		"objects": sys.NumObjects(),
 		"queries": sys.NumQueries(),
 	})
@@ -180,7 +337,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 func (s *server) withSystem(w http.ResponseWriter, fn func(*iq.System)) {
 	sys := s.system()
 	if sys == nil {
-		writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
+		s.writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
 		return
 	}
 	fn(sys)
@@ -192,7 +349,7 @@ func (s *server) withSystemExclusive(w http.ResponseWriter, fn func(*iq.System))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.sys == nil {
-		writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
+		s.writeErr(w, http.StatusConflict, errors.New("no dataset loaded; POST /v1/load first"))
 		return
 	}
 	fn(s.sys)
@@ -201,7 +358,7 @@ func (s *server) withSystemExclusive(w http.ResponseWriter, fn func(*iq.System))
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.withSystem(w, func(sys *iq.System) {
 		st := sys.IndexStats()
-		writeJSON(w, http.StatusOK, map[string]int{
+		s.writeJSON(w, http.StatusOK, map[string]int{
 			"objects":    sys.NumObjects(),
 			"queries":    st.Queries,
 			"subdomains": st.Subdomains,
@@ -249,29 +406,30 @@ func (s *server) buildBounds(sys *iq.System, frozen []int) (*iq.Bounds, error) {
 
 func (s *server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 	var req iqRequest
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystem(w, func(sys *iq.System) {
 		cost, err := s.buildCost(sys, req.Cost)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		bounds, err := s.buildBounds(sys, req.Frozen)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := sys.MinCost(iq.MinCostRequest{
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		res, err := sys.MinCostCtx(ctx, iq.MinCostRequest{
 			Target: req.Target, Tau: req.Tau, Cost: cost, Bounds: bounds, Workers: req.Workers,
 		})
 		if err != nil {
-			writeErr(w, statusFor(err), err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, iqResponse{
+		s.writeJSON(w, http.StatusOK, iqResponse{
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
 			BaseHits: res.BaseHits, Iterations: res.Iterations,
 		})
@@ -280,29 +438,30 @@ func (s *server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMaxHit(w http.ResponseWriter, r *http.Request) {
 	var req iqRequest
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystem(w, func(sys *iq.System) {
 		cost, err := s.buildCost(sys, req.Cost)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		bounds, err := s.buildBounds(sys, req.Frozen)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := sys.MaxHit(iq.MaxHitRequest{
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		res, err := sys.MaxHitCtx(ctx, iq.MaxHitRequest{
 			Target: req.Target, Budget: req.Budget, Cost: cost, Bounds: bounds, Workers: req.Workers,
 		})
 		if err != nil {
-			writeErr(w, statusFor(err), err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, iqResponse{
+		s.writeJSON(w, http.StatusOK, iqResponse{
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
 			BaseHits: res.BaseHits, Iterations: res.Iterations,
 		})
@@ -311,24 +470,22 @@ func (s *server) handleMaxHit(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req strategyRequest
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystem(w, func(sys *iq.System) {
-		hits, err := sys.EvaluateStrategy(req.Target, req.Strategy)
+		hits, err := sys.EvaluateStrategyCtx(r.Context(), req.Target, req.Strategy)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
+		s.writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
 	})
 }
 
 func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	var req strategyRequest
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystemExclusive(w, func(sys *iq.System) {
@@ -336,11 +493,11 @@ func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		// is from exactly the epoch this commit published.
 		hits, err := sys.CommitAndCount(req.Target, req.Strategy)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		s.log.Printf("committed strategy for target %d", req.Target)
-		writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
+		s.writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
 	})
 }
 
@@ -348,48 +505,45 @@ func (s *server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Attrs iq.Vector `json:"attrs"`
 	}
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystemExclusive(w, func(sys *iq.System) {
 		id, err := sys.AddObject(req.Attrs)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]int{"id": id})
+		s.writeJSON(w, http.StatusOK, map[string]int{"id": id})
 	})
 }
 
 func (s *server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryWire
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystemExclusive(w, func(sys *iq.System) {
 		idx, err := sys.AddQuery(iq.Query{ID: req.ID, K: req.K, Point: req.Point})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]int{"index": idx})
+		s.writeJSON(w, http.StatusOK, map[string]int{"index": idx})
 	})
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req queryWire
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.withSystem(w, func(sys *iq.System) {
 		if req.K < 1 {
-			writeErr(w, http.StatusBadRequest, errors.New("k must be >= 1"))
+			s.writeErr(w, http.StatusBadRequest, errors.New("k must be >= 1"))
 			return
 		}
 		ids := sys.Evaluate(iq.Query{K: req.K, Point: req.Point})
-		writeJSON(w, http.StatusOK, map[string][]int{"ids": ids})
+		s.writeJSON(w, http.StatusOK, map[string][]int{"ids": ids})
 	})
 }

@@ -16,9 +16,13 @@ import (
 )
 
 func testServer(t *testing.T) *httptest.Server {
+	return testServerCfg(t, defaultConfig())
+}
+
+func testServerCfg(t *testing.T, cfg serverConfig) *httptest.Server {
 	t.Helper()
 	logger := log.New(io.Discard, "", 0)
-	ts := httptest.NewServer(newServer(logger).handler())
+	ts := httptest.NewServer(newServer(logger, cfg).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -17,6 +17,9 @@ import (
 // per goroutine — a reader can never observe state from before an epoch it
 // already saw.
 func TestStressServerCommitTopK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping concurrency stress test in -short mode")
+	}
 	ts := testServer(t)
 	loadDataset(t, ts, 50, 25)
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,9 +30,20 @@ const exhaustiveLimit = 2_000_000
 
 // ExhaustiveMinCost finds the optimal min-cost strategy by enumerating every
 // τ-subset of queries and exactly solving the joint constraint system. Only
-// linear spaces with L1/L2 costs and no bounds are supported.
+// linear spaces with L1/L2 costs and no bounds are supported. It is
+// ExhaustiveMinCostCtx without a cancellation point.
 func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
+	return ExhaustiveMinCostCtx(context.Background(), idx, req)
+}
+
+// ExhaustiveMinCostCtx is ExhaustiveMinCost with cancellation: the subset
+// enumeration — the exponential part — aborts when ctx fails, discarding any
+// best-so-far strategy.
+func ExhaustiveMinCostCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
+		return nil, err
+	}
+	if err := CtxErr(ctx); err != nil {
 		return nil, err
 	}
 	if req.Bounds != nil {
@@ -70,7 +82,11 @@ func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error
 
 	bestCost := math.Inf(1)
 	var bestS vec.Vector
-	forEachSubset(len(constrained), effTau, func(subset []int) {
+	stop := stopEvery(ctx, 1024)
+	forEachSubset(len(constrained), effTau, func(subset []int) bool {
+		if stop() {
+			return false
+		}
 		ns := make([]vec.Vector, len(subset))
 		bs := make([]float64, len(subset))
 		for i, si := range subset {
@@ -80,12 +96,16 @@ func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error
 		}
 		s, err := solveJoint(req.Cost, ns, bs)
 		if err != nil {
-			return
+			return true
 		}
 		if c := req.Cost.Of(s); c < bestCost {
 			bestCost, bestS = c, s
 		}
+		return true
 	})
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	if bestS == nil {
 		return nil, ErrGoalUnreachable
 	}
@@ -94,8 +114,15 @@ func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error
 
 // ExhaustiveMaxHit finds the optimal max-hit strategy: the largest h for
 // which some h-subset of queries is jointly hittable within the budget,
-// searched from the largest subset size downward.
+// searched from the largest subset size downward. It is ExhaustiveMaxHitCtx
+// without a cancellation point.
 func ExhaustiveMaxHit(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+	return ExhaustiveMaxHitCtx(context.Background(), idx, req)
+}
+
+// ExhaustiveMaxHitCtx is ExhaustiveMaxHit with cancellation: the per-size
+// subset enumerations abort when ctx fails, discarding partial search state.
+func ExhaustiveMaxHitCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
 		return nil, err
 	}
@@ -118,13 +145,17 @@ func ExhaustiveMaxHit(idx *subdomain.Index, req MaxHitRequest) (*Result, error) 
 		}
 	}
 	d := len(w.Attrs(req.Target))
+	stop := stopEvery(ctx, 1024)
 	for h := len(constrained); h >= 0; h-- {
 		var bestS vec.Vector
 		bestCost := math.Inf(1)
 		if h == 0 {
 			return finishExhaustive(idx, req.Target, req.Cost, vec.New(d))
 		}
-		forEachSubset(len(constrained), h, func(subset []int) {
+		forEachSubset(len(constrained), h, func(subset []int) bool {
+			if stop() {
+				return false
+			}
 			ns := make([]vec.Vector, len(subset))
 			bs := make([]float64, len(subset))
 			for i, si := range subset {
@@ -134,12 +165,16 @@ func ExhaustiveMaxHit(idx *subdomain.Index, req MaxHitRequest) (*Result, error) 
 			}
 			s, err := solveJoint(req.Cost, ns, bs)
 			if err != nil {
-				return
+				return true
 			}
 			if c := req.Cost.Of(s); c <= req.Budget && c < bestCost {
 				bestCost, bestS = c, s
 			}
+			return true
 		})
+		if err := CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		if bestS != nil {
 			return finishExhaustive(idx, req.Target, req.Cost, bestS)
 		}
@@ -209,24 +244,44 @@ func finishExhaustive(idx *subdomain.Index, target int, cost Cost, s vec.Vector)
 	return &Result{Strategy: s, Cost: cost.Of(s), Hits: hits, BaseHits: base}, nil
 }
 
-// forEachSubset enumerates every size-k subset of {0..n-1}.
-func forEachSubset(n, k int, visit func([]int)) {
+// forEachSubset enumerates every size-k subset of {0..n-1}; visit returning
+// false aborts the enumeration.
+func forEachSubset(n, k int, visit func([]int) bool) {
 	if k > n || k < 0 {
 		return
 	}
 	subset := make([]int, k)
-	var rec func(start, depth int)
-	rec = func(start, depth int) {
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
 		if depth == k {
-			visit(subset)
-			return
+			return visit(subset)
 		}
 		for i := start; i <= n-(k-depth); i++ {
 			subset[depth] = i
-			rec(i+1, depth+1)
+			if !rec(i+1, depth+1) {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0, 0)
+}
+
+// stopEvery returns a closure that polls ctx once per `stride` calls (and
+// stays tripped once it has observed a failure), amortising ctx.Err's cost
+// over the millions of cheap visits a subset enumeration makes.
+func stopEvery(ctx context.Context, stride int) func() bool {
+	calls, stopped := 0, false
+	return func() bool {
+		if stopped {
+			return true
+		}
+		calls++
+		if calls%stride == 0 && ctx.Err() != nil {
+			stopped = true
+		}
+		return stopped
+	}
 }
 
 // binomialExceeds reports whether C(n,k) exceeds limit without overflowing.

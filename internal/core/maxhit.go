@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,10 +24,19 @@ type MaxHitRequest struct {
 }
 
 // MaxHitIQ answers a Max-Hit improvement query with the greedy heuristic of
-// Algorithm 4: while budget remains, apply the candidate strategy with the
-// lowest cost per hit; when the best-ratio candidate no longer fits, a final
-// fill pass walks the remaining candidates in cost order and applies any
-// that still fit (lines 13–17).
+// Algorithm 4; it is MaxHitIQCtx without a cancellation point.
+func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+	return MaxHitIQCtx(context.Background(), idx, req)
+}
+
+// MaxHitIQCtx answers a Max-Hit improvement query with the greedy heuristic
+// of Algorithm 4: while budget remains, apply the candidate strategy with
+// the lowest cost per hit; when the best-ratio candidate no longer fits, a
+// final fill pass walks the remaining candidates in cost order and applies
+// any that still fit (lines 13–17). Cancellation is observed at every greedy
+// round and inside the candidate fan-out; a cancelled solve discards its
+// partial strategy and returns a nil Result with
+// ErrCanceled/ErrDeadlineExceeded wrapping ctx.Err().
 //
 // One deliberate deviation from the paper's literal pseudocode: budgets are
 // checked against the cost of the *cumulative* strategy Cost(s*+s) rather
@@ -34,12 +44,15 @@ type MaxHitRequest struct {
 // strategy's cost, and for norm-like costs the sum over-estimates
 // (triangle inequality), so the cumulative check is both more faithful to
 // the definition and never worse.
-func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+func MaxHitIQCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
 		return nil, err
 	}
 	if req.Budget < 0 {
 		return nil, fmt.Errorf("core: negative budget %g", req.Budget)
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
 	}
 	w := idx.Workload()
 	pool, err := evaluatorPool(idx, req.Target, req.Workers)
@@ -64,7 +77,13 @@ func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 		if res.Iterations > w.NumQueries()+8 {
 			break
 		}
-		cands := generateCandidates(idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		if err := checkpoint(ctx, "maxhit", res.Iterations); err != nil {
+			return nil, err
+		}
+		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		if err != nil {
+			return nil, err
+		}
 		res.Evaluations += len(cands)
 		best, ok := bestRatio(cands, curHits)
 		if !ok {

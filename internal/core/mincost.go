@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,12 +51,25 @@ func (r *Result) CostPerHit() float64 {
 func inf() float64 { return math.Inf(1) }
 
 // MinCostIQ answers a Min-Cost improvement query with the greedy heuristic
-// of Algorithm 3: each round generates, for every unhit query, the cheapest
-// strategy hitting it, evaluates the candidates with ESE, and applies the
-// one with the lowest cost per hit; the paper's anti-overshoot rule returns
-// the cheapest candidate reaching τ rather than overshooting it.
+// of Algorithm 3; it is MinCostIQCtx without a cancellation point.
 func MinCostIQ(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
+	return MinCostIQCtx(context.Background(), idx, req)
+}
+
+// MinCostIQCtx answers a Min-Cost improvement query with the greedy
+// heuristic of Algorithm 3: each round generates, for every unhit query, the
+// cheapest strategy hitting it, evaluates the candidates with ESE, and
+// applies the one with the lowest cost per hit; the paper's anti-overshoot
+// rule returns the cheapest candidate reaching τ rather than overshooting
+// it. Cancellation is observed at every greedy round and inside the
+// candidate fan-out; a cancelled solve discards its partial strategy and
+// returns a nil Result with ErrCanceled/ErrDeadlineExceeded wrapping
+// ctx.Err().
+func MinCostIQCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
+		return nil, err
+	}
+	if err := CtxErr(ctx); err != nil {
 		return nil, err
 	}
 	w := idx.Workload()
@@ -87,7 +101,13 @@ func MinCostIQ(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 
 	for curHits < req.Tau {
 		res.Iterations++
-		cands := generateCandidates(idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		if err := checkpoint(ctx, "mincost", res.Iterations); err != nil {
+			return nil, err
+		}
+		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		if err != nil {
+			return nil, err
+		}
 		res.Evaluations += len(cands)
 		best, ok := bestRatio(cands, curHits)
 		if !ok {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"iq/internal/ese"
@@ -136,8 +137,10 @@ type multiCandidate struct {
 
 // generate produces, for every (target, unhit query) pair, the min-cost
 // strategy making that target hit that query — Step 1 of both Section 5.1
-// procedures.
-func (st *multiState) generate() ([]multiCandidate, int) {
+// procedures. The (target × query) scan is the hot loop, so cancellation is
+// checked before every per-query solve; a cancelled scan discards its
+// partial candidate pool.
+func (st *multiState) generate(ctx context.Context) ([]multiCandidate, int, error) {
 	w := st.idx.Workload()
 	var out []multiCandidate
 	evals := 0
@@ -151,6 +154,9 @@ func (st *multiState) generate() ([]multiCandidate, int) {
 		for j := 0; j < w.NumQueries(); j++ {
 			if st.union[j] > 0 || w.IsQueryRemoved(j) {
 				continue // already hit by some target, or removed
+			}
+			if err := CtxErr(ctx); err != nil {
+				return nil, evals, err
 			}
 			u, err := solveHit(st.idx, spec.Target, st.cur[i], j, spec.Cost, spec.Bounds)
 			if err != nil || !spec.Bounds.Contains(u) {
@@ -182,12 +188,20 @@ func (st *multiState) generate() ([]multiCandidate, int) {
 			})
 		}
 	}
-	return out, evals
+	return out, evals, nil
 }
 
 // CombinatorialMinCostIQ finds per-target strategies whose combined hits
-// reach tau with low total cost (Section 5.1, first procedure).
+// reach tau with low total cost (Section 5.1, first procedure); it is
+// CombinatorialMinCostIQCtx without a cancellation point.
 func CombinatorialMinCostIQ(idx *subdomain.Index, specs []TargetSpec, tau int) (*MultiResult, error) {
+	return CombinatorialMinCostIQCtx(context.Background(), idx, specs, tau)
+}
+
+// CombinatorialMinCostIQCtx is CombinatorialMinCostIQ with per-iteration and
+// per-candidate cancellation; a cancelled solve discards its partial
+// strategies and returns a nil MultiResult.
+func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, tau int) (*MultiResult, error) {
 	st, err := newMultiState(idx, specs)
 	if err != nil {
 		return nil, err
@@ -203,7 +217,13 @@ func CombinatorialMinCostIQ(idx *subdomain.Index, specs []TargetSpec, tau int) (
 			st.fill(res)
 			return res, fmt.Errorf("core: iteration guard tripped: %w", ErrGoalUnreachable)
 		}
-		cands, evals := st.generate()
+		if err := checkpoint(ctx, "mincost-multi", res.Iterations); err != nil {
+			return nil, err
+		}
+		cands, evals, err := st.generate(ctx)
+		if err != nil {
+			return nil, err
+		}
 		res.Evaluations += evals
 		best, ok := pickBestMulti(cands, st.unionSize())
 		if !ok {
@@ -232,8 +252,16 @@ func CombinatorialMinCostIQ(idx *subdomain.Index, specs []TargetSpec, tau int) (
 }
 
 // CombinatorialMaxHitIQ maximises the combined hit count under a shared
-// budget (Section 5.1, second procedure).
+// budget (Section 5.1, second procedure); it is CombinatorialMaxHitIQCtx
+// without a cancellation point.
 func CombinatorialMaxHitIQ(idx *subdomain.Index, specs []TargetSpec, budget float64) (*MultiResult, error) {
+	return CombinatorialMaxHitIQCtx(context.Background(), idx, specs, budget)
+}
+
+// CombinatorialMaxHitIQCtx is CombinatorialMaxHitIQ with per-iteration and
+// per-candidate cancellation; a cancelled solve discards its partial
+// strategies and returns a nil MultiResult.
+func CombinatorialMaxHitIQCtx(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, budget float64) (*MultiResult, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("core: negative budget %g", budget)
 	}
@@ -248,7 +276,13 @@ func CombinatorialMaxHitIQ(idx *subdomain.Index, specs []TargetSpec, budget floa
 		if res.Iterations > w.NumQueries()+8 {
 			break
 		}
-		cands, evals := st.generate()
+		if err := checkpoint(ctx, "maxhit-multi", res.Iterations); err != nil {
+			return nil, err
+		}
+		cands, evals, err := st.generate(ctx)
+		if err != nil {
+			return nil, err
+		}
 		res.Evaluations += evals
 		// Step 2: filter candidates whose total cost exceeds the budget.
 		var affordable []multiCandidate

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -184,7 +185,13 @@ type Candidate struct {
 // hits it, evaluated with ESE. With more than one evaluator in the pool the
 // per-query work fans out across goroutines (each evaluator owns mutable
 // scratch state, so one goroutine per evaluator).
-func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit map[int]bool, cost Cost, bounds *Bounds) []Candidate {
+//
+// Cancellation is checked before every probe, serial or parallel: workers
+// stop picking up slots as soon as ctx fails, and a cancelled fan-out
+// returns a nil candidate slice with the translated context error, so the
+// solvers discard the round's partial work instead of greedily applying a
+// winner chosen from whatever subset happened to finish.
+func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit map[int]bool, cost Cost, bounds *Bounds) ([]Candidate, error) {
 	w := idx.Workload()
 	var unhit []int
 	for j := 0; j < w.NumQueries(); j++ {
@@ -194,6 +201,7 @@ func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int,
 	}
 	results := make([]*Candidate, len(unhit))
 	probe := func(ev *ese.Evaluator, slot int) {
+		fireProbe(slot)
 		j := unhit[slot]
 		u, err := solveHit(idx, target, cur, j, cost, bounds)
 		if err != nil {
@@ -211,6 +219,9 @@ func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int,
 	}
 	if len(pool) <= 1 || len(unhit) < 2*len(pool) {
 		for slot := range unhit {
+			if ctx.Err() != nil {
+				break
+			}
 			probe(pool[0], slot)
 		}
 	} else {
@@ -220,11 +231,17 @@ func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int,
 			go func(wkr int) {
 				defer wg.Done()
 				for slot := wkr; slot < len(unhit); slot += len(pool) {
+					if ctx.Err() != nil {
+						return
+					}
 					probe(pool[wkr], slot)
 				}
 			}(wkr)
 		}
 		wg.Wait()
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
 	}
 	out := make([]Candidate, 0, len(unhit))
 	for _, c := range results {
@@ -232,7 +249,7 @@ func generateCandidates(idx *subdomain.Index, pool []*ese.Evaluator, target int,
 			out = append(out, *c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // clampWorkers bounds a request's Workers knob to sane values: anything

@@ -33,6 +33,7 @@
 package iq
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,16 @@ type MultiResult = core.MultiResult
 
 // ErrGoalUnreachable reports that the requested τ cannot be met.
 var ErrGoalUnreachable = core.ErrGoalUnreachable
+
+// ErrCanceled reports a solve stopped early because its context was
+// cancelled; the error chain also matches context.Canceled. A cancelled
+// solve discards its partial greedy state — the System's published epoch is
+// untouched and no partial Result is returned.
+var ErrCanceled = core.ErrCanceled
+
+// ErrDeadlineExceeded reports a solve stopped early because its context's
+// deadline passed; the error chain also matches context.DeadlineExceeded.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded
 
 // IndexOptions tunes subdomain index construction.
 type IndexOptions = subdomain.Options
@@ -203,34 +214,75 @@ func NewLinear(objects []Vector, queries []Query) (*System, error) {
 // MinCost answers a Min-Cost improvement query (Definition 2 /
 // Algorithm 3).
 func (s *System) MinCost(req MinCostRequest) (*Result, error) {
-	return core.MinCostIQ(s.view().idx, req)
+	return s.MinCostCtx(context.Background(), req)
+}
+
+// MinCostCtx is MinCost under a context: the greedy loop of Algorithm 3 and
+// its candidate fan-out observe ctx at every round, so a cancellation or
+// deadline stops the solve promptly. A cancelled solve returns a nil Result
+// and an error matching ErrCanceled/ErrDeadlineExceeded (and the
+// corresponding context error); partial greedy progress is discarded and the
+// System is unchanged.
+func (s *System) MinCostCtx(ctx context.Context, req MinCostRequest) (*Result, error) {
+	return core.MinCostIQCtx(ctx, s.view().idx, req)
 }
 
 // MaxHit answers a Max-Hit improvement query (Definition 3 / Algorithm 4).
 func (s *System) MaxHit(req MaxHitRequest) (*Result, error) {
-	return core.MaxHitIQ(s.view().idx, req)
+	return s.MaxHitCtx(context.Background(), req)
+}
+
+// MaxHitCtx is MaxHit under a context; cancellation semantics match
+// MinCostCtx.
+func (s *System) MaxHitCtx(ctx context.Context, req MaxHitRequest) (*Result, error) {
+	return core.MaxHitIQCtx(ctx, s.view().idx, req)
 }
 
 // MinCostMulti answers a combinatorial Min-Cost IQ over several targets
 // (Section 5.1).
 func (s *System) MinCostMulti(specs []TargetSpec, tau int) (*MultiResult, error) {
-	return core.CombinatorialMinCostIQ(s.view().idx, specs, tau)
+	return s.MinCostMultiCtx(context.Background(), specs, tau)
+}
+
+// MinCostMultiCtx is MinCostMulti under a context; cancellation semantics
+// match MinCostCtx.
+func (s *System) MinCostMultiCtx(ctx context.Context, specs []TargetSpec, tau int) (*MultiResult, error) {
+	return core.CombinatorialMinCostIQCtx(ctx, s.view().idx, specs, tau)
 }
 
 // MaxHitMulti answers a combinatorial Max-Hit IQ over several targets.
 func (s *System) MaxHitMulti(specs []TargetSpec, budget float64) (*MultiResult, error) {
-	return core.CombinatorialMaxHitIQ(s.view().idx, specs, budget)
+	return s.MaxHitMultiCtx(context.Background(), specs, budget)
+}
+
+// MaxHitMultiCtx is MaxHitMulti under a context; cancellation semantics
+// match MinCostCtx.
+func (s *System) MaxHitMultiCtx(ctx context.Context, specs []TargetSpec, budget float64) (*MultiResult, error) {
+	return core.CombinatorialMaxHitIQCtx(ctx, s.view().idx, specs, budget)
 }
 
 // MinCostExhaustive runs the optimal (exponential-time) solver; only
 // feasible for very small inputs, as the paper notes.
 func (s *System) MinCostExhaustive(req MinCostRequest) (*Result, error) {
-	return core.ExhaustiveMinCost(s.view().idx, req)
+	return s.MinCostExhaustiveCtx(context.Background(), req)
+}
+
+// MinCostExhaustiveCtx is MinCostExhaustive under a context; the subset
+// enumeration aborts when ctx fails. The exponential solver is where a
+// deadline matters most.
+func (s *System) MinCostExhaustiveCtx(ctx context.Context, req MinCostRequest) (*Result, error) {
+	return core.ExhaustiveMinCostCtx(ctx, s.view().idx, req)
 }
 
 // MaxHitExhaustive runs the optimal Max-Hit solver for tiny inputs.
 func (s *System) MaxHitExhaustive(req MaxHitRequest) (*Result, error) {
-	return core.ExhaustiveMaxHit(s.view().idx, req)
+	return s.MaxHitExhaustiveCtx(context.Background(), req)
+}
+
+// MaxHitExhaustiveCtx is MaxHitExhaustive under a context; cancellation
+// semantics match MinCostExhaustiveCtx.
+func (s *System) MaxHitExhaustiveCtx(ctx context.Context, req MaxHitRequest) (*Result, error) {
+	return core.ExhaustiveMaxHitCtx(ctx, s.view().idx, req)
 }
 
 // Hits returns H(p), the number of queries object target currently hits.
@@ -248,15 +300,38 @@ func (s *System) Evaluate(q Query) []int {
 	return res.Ordered
 }
 
+// EvaluateCtx is Evaluate under a context. A single top-k evaluation is far
+// cheaper than a solve, so the context is observed once at entry — enough
+// for a server to shed queued work after its deadline passed.
+func (s *System) EvaluateCtx(ctx context.Context, q Query) ([]int, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return s.Evaluate(q), nil
+}
+
 // EvaluateStrategy returns H(p+strategy) without committing anything — the
 // "what would happen if" primitive (Algorithm 2 directly).
 func (s *System) EvaluateStrategy(target int, strategy Vector) (int, error) {
+	return s.EvaluateStrategyCtx(context.Background(), target, strategy)
+}
+
+// EvaluateStrategyCtx is EvaluateStrategy under a context, observed at entry
+// and between evaluator construction and the hit count — the two non-trivial
+// stages of a what-if evaluation.
+func (s *System) EvaluateStrategyCtx(ctx context.Context, target int, strategy Vector) (int, error) {
 	st := s.view()
 	if err := checkStrategy(st.w, target, strategy); err != nil {
 		return 0, err
 	}
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, err
+	}
 	ev, err := ese.New(st.idx, target)
 	if err != nil {
+		return 0, err
+	}
+	if err := core.CtxErr(ctx); err != nil {
 		return 0, err
 	}
 	return ev.Hits(strategy)

@@ -38,6 +38,9 @@ func stressFixture(t *testing.T, seed int64) *System {
 // on that pinned snapshot — i.e. each answer is consistent with *some*
 // published epoch.
 func TestStressReadersWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping concurrency stress test in -short mode")
+	}
 	sys := stressFixture(t, 60)
 
 	const (
@@ -150,6 +153,9 @@ func TestStressReadersWriters(t *testing.T) {
 // path, with parallel candidate generation) while commits land, asserting
 // each solve is internally consistent with the epoch it started from.
 func TestStressMinCostDuringCommits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping concurrency stress test in -short mode")
+	}
 	sys := stressFixture(t, 61)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
