@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench
+.PHONY: check build vet test race stress bench metricscheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
 # re-run the concurrency stress tests twice to shake out
-# scheduling-dependent interleavings. Every test run carries an explicit
-# -timeout so a hung solve fails fast with a goroutine dump instead of
-# stalling CI at the per-package default.
-check: build vet race stress
+# scheduling-dependent interleavings, and finally scrape /metrics off a
+# live server to prove the exposition parses end to end. Every test run
+# carries an explicit -timeout so a hung solve fails fast with a goroutine
+# dump instead of stalling CI at the per-package default.
+check: build vet race stress metricscheck
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,14 @@ race:
 
 stress:
 	$(GO) test -race -run TestStress -count=2 -timeout 10m ./...
+
+# metricscheck boots a real iqserver and validates its /metrics output with
+# iqtool -scrape-metrics (a built-in Prometheus text parser — no curl or
+# promtool dependency). Catches exposition bugs unit tests can't: series
+# registered at init across all packages render together only in a live
+# process.
+metricscheck:
+	./scripts/metricscheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -11,3 +11,7 @@ go build ./...
 go vet ./...
 go test -race -short -timeout 5m ./...
 go test -race -run TestStress -count=2 -timeout 10m ./...
+# Live observability gate: boot a real iqserver and validate its /metrics
+# exposition with iqtool's built-in parser (fails on unparseable output or
+# a registry with no engine series).
+./scripts/metricscheck.sh

@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -214,7 +214,7 @@ func TestRequestTimeoutMS(t *testing.T) {
 // can only tighten the server-wide cap, never extend it, and with no cap
 // configured the request context passes through untouched.
 func TestSolveContextCap(t *testing.T) {
-	s := newServer(log.New(io.Discard, "", 0), serverConfig{requestTimeout: 100 * time.Millisecond})
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{requestTimeout: 100 * time.Millisecond})
 	r, err := http.NewRequest("POST", "/v1/mincost", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -233,7 +233,7 @@ func TestSolveContextCap(t *testing.T) {
 		t.Fatalf("timeout_ms=1 failed to tighten the deadline")
 	}
 
-	s0 := newServer(log.New(io.Discard, "", 0), serverConfig{})
+	s0 := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{})
 	ctx3, cancel3 := s0.solveContext(r, 0)
 	defer cancel3()
 	if _, ok := ctx3.Deadline(); ok {
@@ -274,7 +274,7 @@ func TestHealthAndReadiness(t *testing.T) {
 // (fresh connections refused) while the parked solve still completes with
 // 200, and run() must return nil only after the drain.
 func TestGracefulShutdownDrainsInflight(t *testing.T) {
-	logger := log.New(io.Discard, "", 0)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	cfg := appConfig{
 		requestTimeout: time.Minute,
 		maxInflight:    4,
@@ -378,4 +378,39 @@ func datasetJSON(t *testing.T, n, m int) []byte {
 		t.Fatal(err)
 	}
 	return buf
+}
+
+// TestMetricsAndPprofSmoke: /metrics always serves parseable exposition;
+// /debug/pprof/ serves only when the -pprof gate is on and 404s otherwise
+// (the profiling endpoints leak heap contents, so default-off matters).
+func TestMetricsAndPprofSmoke(t *testing.T) {
+	plain := testServer(t)
+	if resp, body := postRaw(t, plain.URL+"/v1/load", "{}"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty load: %d %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(plain.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(plain.URL + "/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without the gate: %d", resp.StatusCode)
+	}
+
+	cfg := defaultConfig()
+	cfg.enablePprof = true
+	gated := testServerCfg(t, cfg)
+	resp, err = http.Get(gated.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "pprof") {
+		t.Errorf("gated pprof index: %d %.80s", resp.StatusCode, body)
+	}
 }

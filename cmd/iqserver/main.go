@@ -4,13 +4,15 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"iq/internal/obs"
 )
 
 // appConfig is the full operational envelope, one field per flag.
@@ -20,17 +22,42 @@ type appConfig struct {
 	drainTimeout   time.Duration
 	maxInflight    int
 	maxBodyBytes   int64
+	logFormat      string
+	logLevel       string
+	pprof          bool
+}
+
+// newLogger builds the process root logger: structured slog (JSON by
+// default, text for humans) wrapped in obs.CtxHandler so every line emitted
+// under a request context automatically carries its request_id.
+func newLogger(cfg appConfig) (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(cfg.logLevel)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch cfg.logFormat {
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		return nil, errors.New("-log-format must be json or text")
+	}
+	return slog.New(obs.NewCtxHandler(h)), nil
 }
 
 // newHTTPServer assembles the hardened http.Server around the API handler.
 // The write timeout must outlast the longest admitted solve, so it is the
 // request timeout plus slack for serialisation; with no request timeout it
 // is unbounded (the operator opted out of deadlines entirely).
-func newHTTPServer(cfg appConfig, logger *log.Logger) *http.Server {
+func newHTTPServer(cfg appConfig, logger *slog.Logger) *http.Server {
 	api := newServer(logger, serverConfig{
 		requestTimeout: cfg.requestTimeout,
 		maxInflight:    cfg.maxInflight,
 		maxBodyBytes:   cfg.maxBodyBytes,
+		enablePprof:    cfg.pprof,
 	})
 	var writeTimeout time.Duration
 	if cfg.requestTimeout > 0 {
@@ -43,7 +70,7 @@ func newHTTPServer(cfg appConfig, logger *log.Logger) *http.Server {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
-		ErrorLog:          logger,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
 	}
 }
 
@@ -51,7 +78,7 @@ func newHTTPServer(cfg appConfig, logger *log.Logger) *http.Server {
 // shuts down gracefully: the listener closes immediately, in-flight requests
 // get up to drain to finish, and only past that deadline are their
 // connections severed. Returns nil on a clean drain.
-func run(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logger *log.Logger) error {
+func run(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logger *slog.Logger) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -59,15 +86,15 @@ func run(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Dura
 		return err // listener failed outright; nothing to drain
 	case <-ctx.Done():
 	}
-	logger.Printf("shutdown: draining in-flight requests (up to %s)", drain)
+	logger.Info("shutdown: draining in-flight requests", "drain_timeout", drain)
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		logger.Printf("shutdown: drain deadline exceeded, severing connections: %v", err)
+		logger.Error("shutdown: drain deadline exceeded, severing connections", "err", err)
 		srv.Close()
 		return err
 	}
-	logger.Printf("shutdown: drained cleanly")
+	logger.Info("shutdown: drained cleanly")
 	return nil
 }
 
@@ -83,20 +110,37 @@ func main() {
 		"max concurrently admitted solver requests; excess get 429 (0 = unlimited)")
 	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", defaults.maxBodyBytes,
 		"max request body size in bytes; larger bodies get 413 (0 = unlimited)")
+	flag.StringVar(&cfg.logFormat, "log-format", "json", "log output format: json or text")
+	flag.StringVar(&cfg.logLevel, "log-level", "info",
+		"minimum log level: debug, info, warn, or error (debug includes per-solve engine lines)")
+	flag.BoolVar(&cfg.pprof, "pprof", false,
+		"mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "iqserver ", log.LstdFlags)
+	logger, err := newLogger(cfg)
+	if err != nil {
+		slog.Error("invalid logging flags", "err", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		logger.Fatal(err)
+		logger.Error("listen failed", "addr", cfg.addr, "err", err)
+		os.Exit(1)
 	}
 	srv := newHTTPServer(cfg, logger)
-	logger.Printf("listening on %s (request-timeout=%s max-inflight=%d max-body-bytes=%d)",
-		ln.Addr(), cfg.requestTimeout, cfg.maxInflight, cfg.maxBodyBytes)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"request_timeout", cfg.requestTimeout,
+		"max_inflight", cfg.maxInflight,
+		"max_body_bytes", cfg.maxBodyBytes,
+		"pprof", cfg.pprof,
+	)
 	if err := run(ctx, srv, ln, cfg.drainTimeout, logger); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
 }

@@ -17,6 +17,8 @@
 //	POST /v1/topk        {k, point}                    -> {ids}
 //	GET  /healthz                                      -> process liveness
 //	GET  /readyz                                       -> dataset loaded?
+//	GET  /metrics                                      -> Prometheus text exposition
+//	GET  /debug/pprof/*  (only with -pprof)            -> net/http/pprof profiles
 //
 // Cost selectors: "l2" (default), "l1", {"weighted": [α...]}, or
 // {"expr": "sqrt(s1^2+...)"}.
@@ -35,13 +37,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"iq"
+	"iq/internal/obs"
 )
 
 // serverConfig bounds one server's resource envelope. The zero value of a
@@ -58,6 +62,10 @@ type serverConfig struct {
 	// maxBodyBytes caps request body size; larger bodies answer 413.
 	// 0 = unlimited.
 	maxBodyBytes int64
+	// enablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints leak heap contents and must be
+	// opted into on trusted networks only.
+	enablePprof bool
 }
 
 func defaultConfig() serverConfig {
@@ -80,7 +88,7 @@ func defaultConfig() serverConfig {
 type server struct {
 	mu  sync.RWMutex
 	sys *iq.System
-	log *log.Logger
+	log *slog.Logger
 	cfg serverConfig
 	// inflight is the admission semaphore for the solver endpoints; nil
 	// when admission is unlimited.
@@ -95,7 +103,7 @@ func (s *server) system() *iq.System {
 	return s.sys
 }
 
-func newServer(logger *log.Logger, cfg serverConfig) *server {
+func newServer(logger *slog.Logger, cfg serverConfig) *server {
 	s := &server{log: logger, cfg: cfg}
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
@@ -103,23 +111,116 @@ func newServer(logger *log.Logger, cfg serverConfig) *server {
 	return s
 }
 
-// handler builds the route table. Every route passes through the
-// panic-recovery middleware; the solver endpoints additionally pass through
-// the admission semaphore.
+// handler builds the route table. Every route passes through the metrics
+// middleware (outermost, so it observes the 500s panic recovery writes) and
+// the panic-recovery middleware; the solver endpoints additionally pass
+// through the admission semaphore.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/load", s.handleLoad)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.Handle("POST /v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
-	mux.Handle("POST /v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
-	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("POST /v1/commit", s.handleCommit)
-	mux.HandleFunc("POST /v1/objects", s.handleAddObject)
-	mux.HandleFunc("POST /v1/queries", s.handleAddQuery)
-	mux.HandleFunc("POST /v1/topk", s.handleTopK)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	return s.recoverPanics(mux)
+	s.route(mux, "POST /v1/load", "/v1/load", http.HandlerFunc(s.handleLoad))
+	s.route(mux, "GET /v1/stats", "/v1/stats", http.HandlerFunc(s.handleStats))
+	s.route(mux, "POST /v1/mincost", "/v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
+	s.route(mux, "POST /v1/maxhit", "/v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
+	s.route(mux, "POST /v1/evaluate", "/v1/evaluate", http.HandlerFunc(s.handleEvaluate))
+	s.route(mux, "POST /v1/commit", "/v1/commit", http.HandlerFunc(s.handleCommit))
+	s.route(mux, "POST /v1/objects", "/v1/objects", http.HandlerFunc(s.handleAddObject))
+	s.route(mux, "POST /v1/queries", "/v1/queries", http.HandlerFunc(s.handleAddQuery))
+	s.route(mux, "POST /v1/topk", "/v1/topk", http.HandlerFunc(s.handleTopK))
+	s.route(mux, "GET /healthz", "/healthz", http.HandlerFunc(s.handleHealthz))
+	s.route(mux, "GET /readyz", "/readyz", http.HandlerFunc(s.handleReadyz))
+	s.route(mux, "GET /metrics", "/metrics", http.HandlerFunc(s.handleMetrics))
+	if s.cfg.enablePprof {
+		// The pprof mux registrations are package-global; mount the
+		// handlers explicitly so the gate actually gates.
+		s.route(mux, "/debug/pprof/", "/debug/pprof", http.HandlerFunc(pprof.Index))
+		s.route(mux, "/debug/pprof/cmdline", "/debug/pprof", http.HandlerFunc(pprof.Cmdline))
+		s.route(mux, "/debug/pprof/profile", "/debug/pprof", http.HandlerFunc(pprof.Profile))
+		s.route(mux, "/debug/pprof/symbol", "/debug/pprof", http.HandlerFunc(pprof.Symbol))
+		s.route(mux, "/debug/pprof/trace", "/debug/pprof", http.HandlerFunc(pprof.Trace))
+	}
+	return mux
+}
+
+// route mounts one pattern with the standard middleware chain. The route
+// string is the metric label — a fixed set of values, never the raw URL
+// path, so label cardinality stays bounded.
+func (s *server) route(mux *http.ServeMux, pattern, route string, h http.Handler) {
+	mux.Handle(pattern, s.instrument(route, s.recoverPanics(h)))
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the per-route flight recorder: it assigns (or propagates)
+// the request ID, threads it plus the server logger through the context so
+// engine-level log lines correlate with the request, and records latency,
+// status class, and in-flight depth. The request log line carries
+// request_id/route/status/duration; 5xx log at Error.
+func (s *server) instrument(route string, next http.Handler) http.Handler {
+	dur := obs.Default.Histogram("iq_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, "route", route)
+	inflight := obs.Default.Gauge("iq_http_inflight",
+		"HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), rid)
+		ctx = obs.WithLogger(ctx, s.log)
+		w.Header().Set("X-Request-ID", rid)
+		sw := &statusWriter{ResponseWriter: w}
+		inflight.Add(1)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		inflight.Add(-1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		dur.Observe(elapsed.Seconds())
+		obs.Default.Counter("iq_http_responses_total",
+			"HTTP responses by route and status class.",
+			"route", route, "class", fmt.Sprintf("%dxx", status/100)).Inc()
+		switch status {
+		case http.StatusTooManyRequests:
+			obs.Default.Counter("iq_http_throttled_total",
+				"Solver requests refused by the admission semaphore.").Inc()
+		case http.StatusGatewayTimeout:
+			obs.Default.Counter("iq_http_timeouts_total",
+				"Solves that exhausted their deadline.").Inc()
+		}
+		lvl := slog.LevelInfo
+		if status >= 500 {
+			lvl = slog.LevelError
+		}
+		// request_id is not attached here: the ctx-aware handler stamps it
+		// on every line logged under this context, this one included.
+		s.log.LogAttrs(ctx, lvl, "request",
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Duration("duration", elapsed),
+		)
+	})
 }
 
 // recoverPanics converts a handler panic into a JSON 500 on the assumption
@@ -130,12 +231,27 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.log.Printf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				obs.Default.Counter("iq_http_panics_total",
+					"Handler panics converted to 500s.").Inc()
+				s.log.ErrorContext(r.Context(), "handler panic",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()),
+				)
 				s.writeErr(w, http.StatusInternalServerError, errors.New("internal error"))
 			}
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := obs.Default.WritePrometheus(w); err != nil {
+		s.log.Error("metrics exposition failed", "err", err)
+	}
 }
 
 // admit bounds the number of concurrently running solver requests. The
@@ -192,11 +308,12 @@ type iqRequest struct {
 }
 
 type iqResponse struct {
-	Strategy   iq.Vector `json:"strategy"`
-	Cost       float64   `json:"cost"`
-	Hits       int       `json:"hits"`
-	BaseHits   int       `json:"base_hits"`
-	Iterations int       `json:"iterations"`
+	Strategy   iq.Vector     `json:"strategy"`
+	Cost       float64       `json:"cost"`
+	Hits       int           `json:"hits"`
+	BaseHits   int           `json:"base_hits"`
+	Iterations int           `json:"iterations"`
+	Stats      iq.SolveStats `json:"stats"`
 }
 
 type strategyRequest struct {
@@ -215,7 +332,7 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.log.Printf("writeJSON: encoding %T: %v", v, err)
+		s.log.Error("response encoding failed", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }
 
@@ -323,7 +440,8 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.sys = sys
 	s.mu.Unlock()
-	s.log.Printf("loaded %d objects, %d queries", len(req.Objects), len(queries))
+	s.log.InfoContext(r.Context(), "dataset loaded",
+		"objects", len(req.Objects), "queries", len(queries))
 	s.writeJSON(w, http.StatusOK, map[string]int{
 		"objects": sys.NumObjects(),
 		"queries": sys.NumQueries(),
@@ -358,13 +476,16 @@ func (s *server) withSystemExclusive(w http.ResponseWriter, fn func(*iq.System))
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.withSystem(w, func(sys *iq.System) {
 		st := sys.IndexStats()
-		s.writeJSON(w, http.StatusOK, map[string]int{
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"objects":    sys.NumObjects(),
 			"queries":    st.Queries,
 			"subdomains": st.Subdomains,
 			"candidates": st.Candidates,
 			"size_bytes": st.SizeBytes,
 			"epoch":      int(sys.Epoch()),
+			// Every registered series, flattened name{labels} -> value:
+			// the /metrics content for clients that prefer JSON.
+			"counters": obs.Default.Snapshot(),
 		})
 	})
 }
@@ -431,7 +552,7 @@ func (s *server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeJSON(w, http.StatusOK, iqResponse{
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
-			BaseHits: res.BaseHits, Iterations: res.Iterations,
+			BaseHits: res.BaseHits, Iterations: res.Iterations, Stats: res.Stats,
 		})
 	})
 }
@@ -463,7 +584,7 @@ func (s *server) handleMaxHit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeJSON(w, http.StatusOK, iqResponse{
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
-			BaseHits: res.BaseHits, Iterations: res.Iterations,
+			BaseHits: res.BaseHits, Iterations: res.Iterations, Stats: res.Stats,
 		})
 	})
 }
@@ -496,7 +617,7 @@ func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		s.log.Printf("committed strategy for target %d", req.Target)
+		s.log.InfoContext(r.Context(), "strategy committed", "target", req.Target)
 		s.writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
 	})
 }

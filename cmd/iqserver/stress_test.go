@@ -67,17 +67,17 @@ func TestStressServerCommitTopK(t *testing.T) {
 					t.Errorf("stats: %v", err)
 					continue
 				}
-				var st map[string]int
+				var st statsWire
 				err = json.NewDecoder(stats.Body).Decode(&st)
 				stats.Body.Close()
 				if err != nil {
 					t.Errorf("stats body: %v", err)
 					continue
 				}
-				if st["epoch"] < lastEpoch {
-					t.Errorf("epoch went backwards: %d after %d", st["epoch"], lastEpoch)
+				if st.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", st.Epoch, lastEpoch)
 				}
-				lastEpoch = st["epoch"]
+				lastEpoch = st.Epoch
 			}
 		}(int64(400 + r))
 	}
@@ -123,14 +123,14 @@ func TestStressServerCommitTopK(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stats.Body.Close()
-	var st map[string]int
+	var st statsWire
 	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if want := writers * writesPerG; st["epoch"] != want {
-		t.Errorf("final epoch %d, want %d", st["epoch"], want)
+	if want := writers * writesPerG; st.Epoch != want {
+		t.Errorf("final epoch %d, want %d", st.Epoch, want)
 	}
-	if st["subdomains"] == 0 || st["queries"] == 0 {
-		t.Errorf("degenerate stats after stress: %v", st)
+	if st.Subdomains == 0 || st.Queries == 0 {
+		t.Errorf("degenerate stats after stress: %+v", st)
 	}
 }

@@ -2,11 +2,26 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"time"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed for generated workloads")
+	scrapeURL := flag.String("scrape-metrics", "",
+		"fetch this /metrics URL (retrying until the server is up), validate the Prometheus exposition, and exit")
+	scrapeWait := flag.Duration("scrape-timeout", 15*time.Second,
+		"how long -scrape-metrics keeps retrying before giving up")
 	flag.Parse()
+	if *scrapeURL != "" {
+		n, err := scrapeMetrics(*scrapeURL, *scrapeWait)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqtool: scrape %s: %v\n", *scrapeURL, err)
+			os.Exit(1)
+		}
+		fmt.Printf("scraped %s: %d series, exposition valid\n", *scrapeURL, n)
+		return
+	}
 	run(os.Stdin, os.Stdout, *seed)
 }

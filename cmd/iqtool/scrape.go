@@ -1,0 +1,70 @@
+package main
+
+// The -scrape-metrics mode is the CI gate for the observability surface: it
+// polls a live iqserver's /metrics until the server is up, validates that
+// the body is parseable Prometheus text exposition, and requires at least
+// one engine (iq_-prefixed) series. ci.sh runs it against a throwaway
+// server so a malformed exposition or a silently empty registry fails the
+// build, without depending on curl or an external scraper.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"iq/internal/obs"
+)
+
+// scrapeMetrics fetches url (retrying while the server comes up) and
+// validates the exposition. Returns the number of series on success.
+func scrapeMetrics(url string, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no valid scrape within %s: %w", timeout, lastErr)
+		}
+		vals, err := scrapeOnce(url)
+		if err == nil {
+			return vals, nil
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func scrapeOnce(url string) (int, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("malformed exposition: %w", err)
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("exposition has no series")
+	}
+	engine := 0
+	for name := range vals {
+		if strings.HasPrefix(name, "iq_") {
+			engine++
+		}
+	}
+	if engine == 0 {
+		return 0, fmt.Errorf("no iq_-prefixed series among %d series", len(vals))
+	}
+	return len(vals), nil
+}

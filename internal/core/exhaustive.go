@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"iq/internal/lp"
 	"iq/internal/subdomain"
@@ -40,6 +41,17 @@ func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error
 // enumeration — the exponential part — aborts when ctx fails, discarding any
 // best-so-far strategy.
 func ExhaustiveMinCostCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest) (*Result, error) {
+	start := time.Now()
+	rec := newRecorder()
+	res, err := exhaustiveMinCostSolve(ctx, idx, req, rec)
+	st := finishSolve(ctx, "mincost-exhaustive", start, rec, 0, err)
+	if res != nil {
+		res.Stats = st
+	}
+	return res, err
+}
+
+func exhaustiveMinCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest, rec *recorder) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
 		return nil, err
 	}
@@ -94,10 +106,14 @@ func ExhaustiveMinCostCtx(ctx context.Context, idx *subdomain.Index, req MinCost
 			ns[i] = normals[j]
 			bs[i] = rhs[j]
 		}
+		t0 := rec.probeStart()
 		s, err := solveJoint(req.Cost, ns, bs)
+		rec.solveDone(t0)
 		if err != nil {
+			rec.pruned.Add(1)
 			return true
 		}
+		rec.cands.Add(1)
 		if c := req.Cost.Of(s); c < bestCost {
 			bestCost, bestS = c, s
 		}
@@ -123,6 +139,17 @@ func ExhaustiveMaxHit(idx *subdomain.Index, req MaxHitRequest) (*Result, error) 
 // ExhaustiveMaxHitCtx is ExhaustiveMaxHit with cancellation: the per-size
 // subset enumerations abort when ctx fails, discarding partial search state.
 func ExhaustiveMaxHitCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+	start := time.Now()
+	rec := newRecorder()
+	res, err := exhaustiveMaxHitSolve(ctx, idx, req, rec)
+	st := finishSolve(ctx, "maxhit-exhaustive", start, rec, 0, err)
+	if res != nil {
+		res.Stats = st
+	}
+	return res, err
+}
+
+func exhaustiveMaxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, rec *recorder) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
 		return nil, err
 	}
@@ -163,10 +190,14 @@ func ExhaustiveMaxHitCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRe
 				ns[i] = normals[j]
 				bs[i] = rhs[j]
 			}
+			t0 := rec.probeStart()
 			s, err := solveJoint(req.Cost, ns, bs)
+			rec.solveDone(t0)
 			if err != nil {
+				rec.pruned.Add(1)
 				return true
 			}
+			rec.cands.Add(1)
 			if c := req.Cost.Of(s); c <= req.Budget && c < bestCost {
 				bestCost, bestS = c, s
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"iq/internal/subdomain"
 	"iq/internal/vec"
@@ -45,6 +46,21 @@ func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 // (triangle inequality), so the cumulative check is both more faithful to
 // the definition and never worse.
 func MaxHitIQCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
+	start := time.Now()
+	rec := newRecorder()
+	res, err := maxHitSolve(ctx, idx, req, rec)
+	rounds := 0
+	if res != nil {
+		rounds = res.Iterations
+	}
+	st := finishSolve(ctx, "maxhit", start, rec, rounds, err)
+	if res != nil {
+		res.Stats = st
+	}
+	return res, err
+}
+
+func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, rec *recorder) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
 		return nil, err
 	}
@@ -80,7 +96,7 @@ func MaxHitIQCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (
 		if err := checkpoint(ctx, "maxhit", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
 		if err != nil {
 			return nil, err
 		}

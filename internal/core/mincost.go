@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"iq/internal/subdomain"
 	"iq/internal/vec"
@@ -37,6 +38,10 @@ type Result struct {
 	// Iterations counts greedy rounds; Evaluations counts ESE calls.
 	Iterations  int
 	Evaluations int
+	// Stats is the solve's full work profile: probes, prune counts, and
+	// wall time per stage (see SolveStats). Iterations/Evaluations above
+	// predate it and remain for compatibility.
+	Stats SolveStats
 }
 
 // CostPerHit returns Cost/Hits, the paper's unified quality metric (lower is
@@ -66,6 +71,21 @@ func MinCostIQ(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 // returns a nil Result with ErrCanceled/ErrDeadlineExceeded wrapping
 // ctx.Err().
 func MinCostIQCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest) (*Result, error) {
+	start := time.Now()
+	rec := newRecorder()
+	res, err := minCostSolve(ctx, idx, req, rec)
+	rounds := 0
+	if res != nil {
+		rounds = res.Iterations
+	}
+	st := finishSolve(ctx, "mincost", start, rec, rounds, err)
+	if res != nil {
+		res.Stats = st
+	}
+	return res, err
+}
+
+func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest, rec *recorder) (*Result, error) {
 	if err := validateCommon(idx, req.Target, req.Cost); err != nil {
 		return nil, err
 	}
@@ -104,7 +124,7 @@ func MinCostIQCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest)
 		if err := checkpoint(ctx, "mincost", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds)
+		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"iq/internal/ese"
 	"iq/internal/subdomain"
@@ -36,6 +37,8 @@ type MultiResult struct {
 	// Iterations and Evaluations mirror Result's counters.
 	Iterations  int
 	Evaluations int
+	// Stats is the solve's work profile (see SolveStats).
+	Stats SolveStats
 }
 
 // CostPerHit returns TotalCost/TotalHits, the paper's quality metric.
@@ -140,7 +143,7 @@ type multiCandidate struct {
 // procedures. The (target × query) scan is the hot loop, so cancellation is
 // checked before every per-query solve; a cancelled scan discards its
 // partial candidate pool.
-func (st *multiState) generate(ctx context.Context) ([]multiCandidate, int, error) {
+func (st *multiState) generate(ctx context.Context, rec *recorder) ([]multiCandidate, int, error) {
 	w := st.idx.Workload()
 	var out []multiCandidate
 	evals := 0
@@ -158,15 +161,20 @@ func (st *multiState) generate(ctx context.Context) ([]multiCandidate, int, erro
 			if err := CtxErr(ctx); err != nil {
 				return nil, evals, err
 			}
+			t0 := rec.probeStart()
 			u, err := solveHit(st.idx, spec.Target, st.cur[i], j, spec.Cost, spec.Bounds)
+			t1 := rec.solveDone(t0)
 			if err != nil || !spec.Bounds.Contains(u) {
+				rec.pruned.Add(1)
 				continue
 			}
 			coeff, err := w.Space().Embed(vec.Add(w.Attrs(spec.Target), u))
 			if err != nil {
+				rec.pruned.Add(1)
 				continue
 			}
 			newHits := st.evs[i].HitSet(coeff)
+			rec.evalDone(t1)
 			evals++
 			// Union size if applied.
 			size := st.unionSize()
@@ -202,6 +210,21 @@ func CombinatorialMinCostIQ(idx *subdomain.Index, specs []TargetSpec, tau int) (
 // per-candidate cancellation; a cancelled solve discards its partial
 // strategies and returns a nil MultiResult.
 func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, tau int) (*MultiResult, error) {
+	start := time.Now()
+	rec := newRecorder()
+	res, err := combMinCostSolve(ctx, idx, specs, tau, rec)
+	rounds := 0
+	if res != nil {
+		rounds = res.Iterations
+	}
+	stats := finishSolve(ctx, "mincost-multi", start, rec, rounds, err)
+	if res != nil {
+		res.Stats = stats
+	}
+	return res, err
+}
+
+func combMinCostSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, tau int, rec *recorder) (*MultiResult, error) {
 	st, err := newMultiState(idx, specs)
 	if err != nil {
 		return nil, err
@@ -220,7 +243,7 @@ func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs 
 		if err := checkpoint(ctx, "mincost-multi", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, evals, err := st.generate(ctx)
+		cands, evals, err := st.generate(ctx, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -262,6 +285,21 @@ func CombinatorialMaxHitIQ(idx *subdomain.Index, specs []TargetSpec, budget floa
 // per-candidate cancellation; a cancelled solve discards its partial
 // strategies and returns a nil MultiResult.
 func CombinatorialMaxHitIQCtx(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, budget float64) (*MultiResult, error) {
+	start := time.Now()
+	rec := newRecorder()
+	res, err := combMaxHitSolve(ctx, idx, specs, budget, rec)
+	rounds := 0
+	if res != nil {
+		rounds = res.Iterations
+	}
+	stats := finishSolve(ctx, "maxhit-multi", start, rec, rounds, err)
+	if res != nil {
+		res.Stats = stats
+	}
+	return res, err
+}
+
+func combMaxHitSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, budget float64, rec *recorder) (*MultiResult, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("core: negative budget %g", budget)
 	}
@@ -279,7 +317,7 @@ func CombinatorialMaxHitIQCtx(ctx context.Context, idx *subdomain.Index, specs [
 		if err := checkpoint(ctx, "maxhit-multi", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, evals, err := st.generate(ctx)
+		cands, evals, err := st.generate(ctx, rec)
 		if err != nil {
 			return nil, err
 		}

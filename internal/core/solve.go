@@ -191,7 +191,7 @@ type Candidate struct {
 // returns a nil candidate slice with the translated context error, so the
 // solvers discard the round's partial work instead of greedily applying a
 // winner chosen from whatever subset happened to finish.
-func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit map[int]bool, cost Cost, bounds *Bounds) ([]Candidate, error) {
+func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit map[int]bool, cost Cost, bounds *Bounds, rec *recorder) ([]Candidate, error) {
 	w := idx.Workload()
 	var unhit []int
 	for j := 0; j < w.NumQueries(); j++ {
@@ -202,19 +202,25 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 	results := make([]*Candidate, len(unhit))
 	probe := func(ev *ese.Evaluator, slot int) {
 		fireProbe(slot)
+		t0 := rec.probeStart()
 		j := unhit[slot]
 		u, err := solveHit(idx, target, cur, j, cost, bounds)
+		t1 := rec.solveDone(t0)
 		if err != nil {
+			rec.pruned.Add(1)
 			return // infeasible for this query (e.g. bounds); skip
 		}
 		if !bounds.Contains(u) {
+			rec.pruned.Add(1)
 			return
 		}
 		coeff, err := w.Space().Embed(vec.Add(w.Attrs(target), u))
 		if err != nil {
+			rec.pruned.Add(1)
 			return
 		}
 		h := ev.HitsWithCoeff(coeff)
+		rec.evalDone(t1)
 		results[slot] = &Candidate{Query: j, Strategy: u, Cost: cost.Of(u), Hits: h}
 	}
 	if len(pool) <= 1 || len(unhit) < 2*len(pool) {

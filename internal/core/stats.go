@@ -1,0 +1,152 @@
+package core
+
+// This file is the solver-side flight recorder: every public solve returns
+// per-solve SolveStats inside its Result (greedy rounds, candidate probes,
+// prune counts, wall time per stage) and feeds the process-wide obs registry
+// (solve totals by outcome, duration histograms) so /metrics shows where
+// time goes. Collection must never perturb results — the recorder only
+// counts and times; it makes no decisions — and costs a handful of atomic
+// adds per probe, far below the LP solve each probe performs.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"iq/internal/obs"
+)
+
+// SolveStats profiles one solve. Stage wall times cover the two halves of
+// every candidate probe: SolveHitWall is the per-query min-cost subproblem
+// (Equations 13–14), EvalWall the ESE hit-count evaluation (Algorithm 2).
+// Timing is sampled only while obs.Enabled(); the integer counters are
+// always collected.
+type SolveStats struct {
+	// Rounds counts greedy iterations (Algorithm 3/4 outer loops).
+	Rounds int `json:"rounds"`
+	// Probes counts per-query candidate solves attempted, including ones
+	// discarded as infeasible.
+	Probes int `json:"probes"`
+	// Pruned counts probes discarded before ESE evaluation: the per-query
+	// subproblem was infeasible, violated bounds, or failed to embed.
+	Pruned int `json:"pruned"`
+	// Candidates counts probes that survived to an ESE evaluation.
+	Candidates int `json:"candidates"`
+	// Wall is the solve's total wall time.
+	Wall time.Duration `json:"wall_ns"`
+	// SolveHitWall accumulates time in per-query min-cost subproblems.
+	SolveHitWall time.Duration `json:"solve_hit_wall_ns"`
+	// EvalWall accumulates time in ESE hit-count evaluations.
+	EvalWall time.Duration `json:"eval_wall_ns"`
+	// CancelCause is "" for a completed solve, "canceled" or "deadline"
+	// when the context stopped it (the Result is nil then; the cause still
+	// reaches the metrics and, for multi-solves, the partial stats).
+	CancelCause string `json:"cancel_cause,omitempty"`
+}
+
+// recorder accumulates one solve's counters. Probe-level fields are atomics
+// because the candidate fan-out updates them from worker goroutines.
+type recorder struct {
+	timed  bool // sample wall clocks? (false when obs is disabled)
+	probes atomic.Int64
+	pruned atomic.Int64
+	cands  atomic.Int64
+	solve  atomic.Int64 // ns in solveHit
+	eval   atomic.Int64 // ns in ESE evaluation
+}
+
+func newRecorder() *recorder { return &recorder{timed: obs.Enabled()} }
+
+// probeStart returns the probe's start instant (zero when untimed).
+func (r *recorder) probeStart() time.Time {
+	r.probes.Add(1)
+	if !r.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (r *recorder) solveDone(t0 time.Time) time.Time {
+	if !r.timed {
+		return time.Time{}
+	}
+	t1 := time.Now()
+	r.solve.Add(t1.Sub(t0).Nanoseconds())
+	return t1
+}
+
+func (r *recorder) evalDone(t1 time.Time) {
+	r.cands.Add(1)
+	if r.timed {
+		r.eval.Add(time.Since(t1).Nanoseconds())
+	}
+}
+
+func (r *recorder) stats(rounds int, wall time.Duration, err error) SolveStats {
+	return SolveStats{
+		Rounds:       rounds,
+		Probes:       int(r.probes.Load()),
+		Pruned:       int(r.pruned.Load()),
+		Candidates:   int(r.cands.Load()),
+		Wall:         wall,
+		SolveHitWall: time.Duration(r.solve.Load()),
+		EvalWall:     time.Duration(r.eval.Load()),
+		CancelCause:  cancelCause(err),
+	}
+}
+
+func cancelCause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	default:
+		return ""
+	}
+}
+
+// outcomeOf buckets a solve's error for the iq_solve_total counter.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrGoalUnreachable):
+		return "unreachable"
+	default:
+		return "error"
+	}
+}
+
+// finishSolve publishes one solve's metrics and emits the engine's Debug log
+// line (carrying the caller's request ID when the context has one).
+func finishSolve(ctx context.Context, op string, start time.Time, rec *recorder, rounds int, err error) SolveStats {
+	wall := time.Since(start)
+	st := rec.stats(rounds, wall, err)
+	obs.Default.Counter("iq_solve_total",
+		"Solves by operation and outcome.", "op", op, "outcome", outcomeOf(err)).Inc()
+	obs.Default.Histogram("iq_solve_duration_seconds",
+		"Solve wall time by operation.", nil, "op", op).Observe(wall.Seconds())
+	obs.Default.Counter("iq_solve_rounds_total",
+		"Greedy rounds executed.", "op", op).Add(int64(st.Rounds))
+	obs.Default.Counter("iq_solve_probes_total",
+		"Candidate probes attempted.", "op", op).Add(int64(st.Probes))
+	obs.Default.Counter("iq_solve_pruned_total",
+		"Candidate probes discarded before ESE evaluation.", "op", op).Add(int64(st.Pruned))
+	obs.Log(ctx).DebugContext(ctx, "solve finished",
+		"op", op,
+		"outcome", outcomeOf(err),
+		"rounds", st.Rounds,
+		"probes", st.Probes,
+		"pruned", st.Pruned,
+		"wall_ms", wall.Milliseconds(),
+	)
+	return st
+}

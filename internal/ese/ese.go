@@ -12,10 +12,35 @@ package ese
 import (
 	"fmt"
 
+	"iq/internal/obs"
 	"iq/internal/rtree"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
 	"iq/internal/vec"
+)
+
+// Evaluator-side work counters, exported at /metrics. Pair-level events
+// (slab searches, root prunes) are far too hot for a shared atomic — the
+// candidate fan-out would serialise on the cache line — so each evaluator
+// accumulates them in plain local fields and flushes once per evaluation
+// (see flushPending).
+var (
+	mEvaluatorsBuilt = obs.Default.Counter("iq_ese_evaluators_built_total",
+		"ESE evaluators constructed.")
+	mRebuilds = obs.Default.Counter("iq_ese_rebuilds_total",
+		"Evaluator cache rebuilds forced by index epoch changes.")
+	mEvaluations = obs.Default.Counter("iq_ese_evaluations_total",
+		"Hit-count evaluations (Algorithm 2 runs).")
+	mSlabSearches = obs.Default.Counter("iq_ese_slab_searches_total",
+		"R-tree slab searches for affected subspaces.")
+	mRootPrunes = obs.Default.Counter("iq_ese_root_prunes_total",
+		"Competitor pairs pruned by the root slab precheck.")
+	mQueriesTouched = obs.Default.Counter("iq_ese_queries_touched_total",
+		"Queries visited during rank-switch collection.")
+	mRankCacheHits = obs.Default.Counter("iq_ese_rank_cache_hits_total",
+		"Per-subdomain rank cache hits.")
+	mRankCacheMisses = obs.Default.Counter("iq_ese_rank_cache_misses_total",
+		"Per-subdomain rank cache misses (one top-k evaluation each).")
 )
 
 // Evaluator computes hit counts for improvement strategies applied to one
@@ -60,9 +85,10 @@ type Evaluator struct {
 	deltaBuf []int32
 	touched  []int
 
-	// stats for the benchmark harness
-	slabSearches   int
-	queriesTouched int
+	// Pair-level event counts staged locally (the evaluator is owned by
+	// one goroutine) and flushed to the package counters per evaluation.
+	pendSlab  int64
+	pendPrune int64
 }
 
 // New builds an evaluator for the given target object index.
@@ -76,6 +102,7 @@ func New(idx *subdomain.Index, target int) (*Evaluator, error) {
 	}
 	e := &Evaluator{idx: idx, w: w, target: target}
 	e.rebuild()
+	mEvaluatorsBuilt.Inc()
 	return e, nil
 }
 
@@ -137,6 +164,7 @@ func (e *Evaluator) rebuild() {
 // accesses.
 func (e *Evaluator) ensureFresh() {
 	if e.idx.Epoch() != e.epoch {
+		mRebuilds.Inc()
 		e.rebuild()
 	}
 }
@@ -173,8 +201,10 @@ func (e *Evaluator) BaseHit(j int) bool {
 // the "evaluate at most one query per subdomain" step of Algorithm 2.
 func (e *Evaluator) rankFor(s *subdomain.Subdomain, coeff vec.Vector) int {
 	if r, ok := e.rankBySub[s.ID]; ok {
+		mRankCacheHits.Inc()
 		return r
 	}
+	mRankCacheMisses.Inc()
 	rep := e.w.Query(s.Representative()).Point
 	r := e.w.RankAmong(e.idx.Candidates(), coeff, e.target, rep)
 	e.rankBySub[s.ID] = r
@@ -226,9 +256,24 @@ func (e *Evaluator) HitsWithCoeff(newCoeff vec.Vector) int {
 			hits--
 		}
 	}
-	e.queriesTouched += len(touched)
+	e.flushPending(len(touched))
 	e.resetDeltas()
 	return hits
+}
+
+// flushPending publishes one evaluation's staged counters: a handful of
+// atomic adds per evaluation instead of one per competitor pair.
+func (e *Evaluator) flushPending(touched int) {
+	mEvaluations.Inc()
+	mQueriesTouched.Add(int64(touched))
+	if e.pendSlab != 0 {
+		mSlabSearches.Add(e.pendSlab)
+		e.pendSlab = 0
+	}
+	if e.pendPrune != 0 {
+		mRootPrunes.Add(e.pendPrune)
+		e.pendPrune = 0
+	}
 }
 
 // computeDeltas fills deltaBuf with the target's per-query rank changes and
@@ -267,6 +312,7 @@ func (e *Evaluator) HitSet(newCoeff vec.Vector) map[int]bool {
 		return out
 	}
 	touched := e.computeDeltas(newCoeff)
+	e.flushPending(len(touched))
 	defer e.resetDeltas()
 	for _, j := range touched {
 		d := int(e.deltaBuf[j])
@@ -354,9 +400,10 @@ func (e *Evaluator) collectSwitches(tree *rtree.Tree, l int) {
 	// small strategies is that the pair's relative order is fixed over the
 	// whole domain both before and after, and no tree walk is needed.
 	if !slabsMayIntersectBox(oldN, newN, e.domainLo, e.domainHi) {
+		e.pendPrune++
 		return
 	}
-	e.slabSearches++
+	e.pendSlab++
 	target := e.target
 	tieBreak := target < l // order on exact score ties
 	boxPred := func(lo, hi vec.Vector) bool {
@@ -386,22 +433,13 @@ func (e *Evaluator) collectSwitches(tree *rtree.Tree, l int) {
 
 func alwaysTrue(rtree.Entry) bool { return true }
 
-// Stats reports evaluator-side work counters.
-type Stats struct {
-	SlabSearches   int
-	QueriesTouched int
-	RanksCached    int
-}
-
-// Stats returns the accumulated counters.
-func (e *Evaluator) Stats() Stats {
-	ranks := len(e.rankBySub)
+// RanksCached reports how many base ranks the evaluator currently holds
+// (per-subdomain for candidate targets, per-query otherwise). The work
+// counters that used to live here are process-wide obs series now — see the
+// iq_ese_* counters at the top of this file.
+func (e *Evaluator) RanksCached() int {
 	if e.rankByQuery != nil {
-		ranks = len(e.rankByQuery)
+		return len(e.rankByQuery)
 	}
-	return Stats{
-		SlabSearches:   e.slabSearches,
-		QueriesTouched: e.queriesTouched,
-		RanksCached:    ranks,
-	}
+	return len(e.rankBySub)
 }

@@ -234,6 +234,9 @@ func TestEvaluatorErrors(t *testing.T) {
 func TestStatsProgress(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	idx := buildFixture(t, rng, 40, 30, 2, 2)
+	built0 := mEvaluatorsBuilt.Value()
+	evals0 := mEvaluations.Value()
+	slabs0 := mSlabSearches.Value()
 	e, err := New(idx, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -241,9 +244,17 @@ func TestStatsProgress(t *testing.T) {
 	if _, err := e.Hits(vec.Vector{-0.2, -0.2}); err != nil {
 		t.Fatal(err)
 	}
-	st := e.Stats()
-	if st.SlabSearches == 0 || st.RanksCached == 0 {
-		t.Errorf("stats not accumulating: %+v", st)
+	if mEvaluatorsBuilt.Value() == built0 {
+		t.Error("iq_ese_evaluators_built_total did not advance")
+	}
+	if mEvaluations.Value() == evals0 {
+		t.Error("iq_ese_evaluations_total did not advance")
+	}
+	if mSlabSearches.Value() == slabs0 {
+		t.Error("iq_ese_slab_searches_total did not advance")
+	}
+	if e.RanksCached() == 0 {
+		t.Error("no ranks cached after construction")
 	}
 	if e.Target() != 0 {
 		t.Error("Target accessor")

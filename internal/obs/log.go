@@ -1,0 +1,94 @@
+// Structured-logging plumbing: request IDs minted at the HTTP edge travel
+// through context.Context into solver-side slog output, so one request's
+// lines — access log, panic report, engine debug — correlate on request_id.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+)
+
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyLogger
+)
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestID extracts the request ID placed by WithRequestID.
+func RequestID(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(ctxKeyRequestID).(string)
+	return id, ok && id != ""
+}
+
+// ridFallback seeds request IDs when crypto/rand is unavailable (it never is
+// in practice, but an ID must still be unique within the process).
+var ridFallback atomic.Uint64
+
+// NewRequestID mints a 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%016x", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithLogger returns a context carrying a logger for downstream layers (the
+// server stores its request-scoped logger here; solvers retrieve it with
+// Log).
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKeyLogger, l)
+}
+
+// Log returns the logger carried by ctx, or slog.Default(). Library code
+// logs through this so it inherits whatever handler — and request ID — the
+// caller set up, and stays silent by default (engine lines are Debug level).
+func Log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKeyLogger).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
+// CtxHandler decorates another slog.Handler, appending a request_id
+// attribute whenever the log call's context carries one. Install it once at
+// the root logger and every *Context logging call is correlated for free.
+type CtxHandler struct{ inner slog.Handler }
+
+// NewCtxHandler wraps h with request-ID injection.
+func NewCtxHandler(h slog.Handler) *CtxHandler { return &CtxHandler{inner: h} }
+
+// Enabled implements slog.Handler.
+func (c *CtxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return c.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler: the record is cloned before mutation, as
+// the slog contract requires of handlers that modify records.
+func (c *CtxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id, ok := RequestID(ctx); ok {
+		rec = rec.Clone()
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return c.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (c *CtxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &CtxHandler{inner: c.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (c *CtxHandler) WithGroup(name string) slog.Handler {
+	return &CtxHandler{inner: c.inner.WithGroup(name)}
+}

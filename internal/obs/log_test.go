@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+// TestCtxHandlerInjectsRequestID: a *Context log call through CtxHandler
+// carries the request_id from its context; calls without one stay clean.
+func TestCtxHandlerInjectsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewCtxHandler(slog.NewJSONHandler(&buf, nil)))
+
+	ctx := WithRequestID(context.Background(), "rid-42")
+	logger.InfoContext(ctx, "with id", "k", "v")
+	logger.InfoContext(context.Background(), "without id")
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(lines[1], &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["request_id"] != "rid-42" || first["k"] != "v" {
+		t.Errorf("request_id missing: %v", first)
+	}
+	if _, ok := second["request_id"]; ok {
+		t.Errorf("request_id leaked into unrelated record: %v", second)
+	}
+}
+
+// TestLogFallsBackToDefault: Log(ctx) returns the context logger when set
+// and slog.Default() otherwise.
+func TestLogFallsBackToDefault(t *testing.T) {
+	if Log(context.Background()) != slog.Default() {
+		t.Error("bare context did not yield slog.Default")
+	}
+	var buf bytes.Buffer
+	custom := slog.New(slog.NewTextHandler(&buf, nil))
+	ctx := WithLogger(context.Background(), custom)
+	if Log(ctx) != custom {
+		t.Error("context logger not returned")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || len(a) != 16 {
+		t.Errorf("ids %q %q", a, b)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got, ok := RequestID(ctx); !ok || got != a {
+		t.Errorf("round-trip %q %v", got, ok)
+	}
+	if _, ok := RequestID(context.Background()); ok {
+		t.Error("id found in empty context")
+	}
+}

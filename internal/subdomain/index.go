@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"iq/internal/bloom"
 	"iq/internal/geom"
@@ -97,6 +98,7 @@ type Index struct {
 
 // Build constructs the index over the workload per Algorithm 1.
 func Build(w *topk.Workload, opts Options) (*Index, error) {
+	start := time.Now()
 	opts = opts.withDefaults()
 	if w.Space().QueryDim() < 1 {
 		return nil, errors.New("subdomain: query space has dimension 0")
@@ -130,6 +132,9 @@ func Build(w *topk.Workload, opts Options) (*Index, error) {
 		idx.candSet[c] = true
 	}
 	idx.partitionAll()
+	mBuilds.Inc()
+	mBuildSeconds.Observe(time.Since(start).Seconds())
+	idx.publishShape()
 	return idx, nil
 }
 
@@ -478,6 +483,7 @@ func (x *Index) Epoch() uint64 { return x.epoch }
 // writers clone, mutate the clone, and publish it, while in-flight readers
 // keep their immutable epoch.
 func (x *Index) Clone(w *topk.Workload) *Index {
+	start := time.Now()
 	c := &Index{
 		w:                      w,
 		opts:                   x.opts,
@@ -510,6 +516,8 @@ func (x *Index) Clone(w *topk.Workload) *Index {
 	for key, subs := range x.boundaryIndex {
 		c.boundaryIndex[key] = append([]int(nil), subs...)
 	}
+	mClones.Inc()
+	mCloneSeconds.Observe(time.Since(start).Seconds())
 	return c
 }
 

@@ -20,6 +20,8 @@ func (x *Index) AddQuery(q topk.Query) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	mAddQuery.Inc()
+	defer x.publishShape()
 	x.epoch++
 	point := x.w.Query(j).Point
 	x.tree.Insert(point, j)
@@ -78,6 +80,8 @@ func (x *Index) RemoveQuery(j int) error {
 	if !x.tree.Delete(point, j) {
 		return fmt.Errorf("subdomain: query %d missing from R-tree", j)
 	}
+	mRemoveQuery.Inc()
+	defer x.publishShape()
 	x.epoch++
 	subID := x.queryToSub[j]
 	s := x.subs[subID]
@@ -124,6 +128,8 @@ func (x *Index) AddObject(attrs vec.Vector) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	mAddObject.Inc()
+	defer x.publishShape()
 	x.epoch++
 	// Does the new object join the candidate set? Conservative test: count
 	// skyband-style dominators among current candidates.
@@ -166,6 +172,8 @@ func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
 	if err := x.w.UpdateObject(id, attrs); err != nil {
 		return err
 	}
+	mUpdateObject.Inc()
+	defer x.publishShape()
 	x.epoch++
 	// Recompute the candidate set; remember promotions.
 	oldSet := x.candSet
@@ -237,6 +245,8 @@ func (x *Index) RemoveObject(id int) error {
 		return fmt.Errorf("subdomain: object %d already removed", id)
 	}
 	x.w.RemoveObject(id)
+	mRemoveObject.Inc()
+	defer x.publishShape()
 	x.epoch++
 	if !x.candSet[id] {
 		return nil // never partitioned anything
@@ -327,6 +337,7 @@ func (x *Index) allIndexedQueries() []int {
 // repartition removes the given queries from their subdomains and re-runs
 // the partitioning over them (restricted to pairs when non-nil).
 func (x *Index) repartition(queries []int, pairs [][2]int) {
+	mRepartitions.Inc()
 	for _, j := range queries {
 		subID := x.queryToSub[j]
 		if subID < 0 {

@@ -40,6 +40,7 @@ import (
 
 	"iq/internal/core"
 	"iq/internal/ese"
+	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -96,6 +97,18 @@ type MaxHitRequest = core.MaxHitRequest
 
 // Result is a single-target improvement query answer.
 type Result = core.Result
+
+// SolveStats is the per-solve work profile carried inside every Result:
+// greedy rounds, candidate probes, prune counts, and wall time per stage.
+type SolveStats = core.SolveStats
+
+// SetMetricsEnabled toggles the wall-clock sampling half of the engine's
+// instrumentation (stage timings inside SolveStats and the duration
+// histograms) and returns the previous setting. Counters are a few atomic
+// adds per solve and stay on regardless. Off saves two clock reads per
+// candidate probe — only worth it when the engine sits on a
+// latency-critical path.
+func SetMetricsEnabled(enabled bool) bool { return obs.SetEnabled(enabled) }
 
 // TargetSpec pairs a target with its cost function for multi-target IQs.
 type TargetSpec = core.TargetSpec

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Live /metrics smoke test: boot a real iqserver, scrape it with iqtool's
+# built-in Prometheus text parser, and fail if the exposition is missing,
+# malformed, or carries no engine series. Unit tests cover each registry in
+# isolation; only a live process proves the full cross-package exposition
+# renders as one parseable document.
+set -eu
+
+ADDR=127.0.0.1:19276
+BIN=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/iqserver" ./cmd/iqserver
+go build -o "$BIN/iqtool" ./cmd/iqtool
+
+"$BIN/iqserver" -addr "$ADDR" -log-level warn &
+SERVER_PID=$!
+
+# iqtool retries until the server is up (bounded by -scrape-timeout), so no
+# sleep-and-hope is needed here.
+"$BIN/iqtool" -scrape-metrics "http://$ADDR/metrics" -scrape-timeout 15s
