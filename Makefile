@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench metricscheck
+.PHONY: check build vet test race stress bench metricscheck tracecheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
@@ -9,7 +9,7 @@ GO ?= go
 # live server to prove the exposition parses end to end. Every test run
 # carries an explicit -timeout so a hung solve fails fast with a goroutine
 # dump instead of stalling CI at the per-package default.
-check: build vet race stress metricscheck
+check: build vet race stress metricscheck tracecheck
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ stress:
 # process.
 metricscheck:
 	./scripts/metricscheck.sh
+
+# tracecheck boots a real iqserver, captures a traced solve through the
+# flight recorder (iqtool -trace-server), and validates the downloaded
+# trace_event JSON: parseable, laminar per track, and nested at least
+# solve → round → probe deep.
+tracecheck:
+	./scripts/tracecheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

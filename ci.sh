@@ -15,3 +15,6 @@ go test -race -run TestStress -count=2 -timeout 10m ./...
 # exposition with iqtool's built-in parser (fails on unparseable output or
 # a registry with no engine series).
 ./scripts/metricscheck.sh
+# Live tracing gate: boot a real iqserver, capture a traced solve through
+# the flight recorder, and validate the downloaded trace_event JSON.
+./scripts/tracecheck.sh

@@ -34,12 +34,20 @@ func main() {
 		sizes = flag.String("sizes", "", "override the object-count sweep, e.g. 1000,2000,4000")
 		iqs   = flag.Int("iqs", 0, "override IQs per test point")
 		jsonO = flag.String("json", "", "write the observability benchmark report (solver ns/op, allocs/op, metrics overhead, stage breakdown) to this path and exit")
+		traceO = flag.String("trace-json", "", "write the tracing-overhead report (solver ns/op with tracing off / enabled-idle / capturing) to this path and exit")
 	)
 	flag.Parse()
 
 	if *jsonO != "" {
 		if err := runObsBench(*jsonO, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "iqbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceO != "" {
+		if err := runTraceBench(*traceO, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -trace-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

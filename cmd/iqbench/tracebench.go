@@ -1,0 +1,185 @@
+package main
+
+// The -trace-json mode is the tracing-cost ledger: it benchmarks the core
+// solvers under three tracing configurations — kill switch off, enabled but
+// idle (no trace on the context; the default production state), and actively
+// capturing — and writes the A/B/C comparison as machine-readable JSON
+// (BENCH_PR4.json in the repo). The acceptance bar is ≤2% solver overhead
+// for enabled-idle over off: tracing must be free until a request opts in.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"iq/internal/obs"
+)
+
+// traceMode labels one tracing configuration of the A/B/C comparison.
+type traceMode struct {
+	Name string // "off" | "idle" | "capture"
+	// enabled is the kill-switch state; attach adds a fresh Trace to the
+	// solve context when true.
+	enabled bool
+	attach  bool
+}
+
+var traceModes = []traceMode{
+	{Name: "off", enabled: false},
+	{Name: "idle", enabled: true},
+	{Name: "capture", enabled: true, attach: true},
+}
+
+type traceBenchRow struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SpansPerOp is the span count of the last capture (0 for off/idle) —
+	// a sanity check that the capture arm really recorded the solve.
+	SpansPerOp int64 `json:"spans_per_op"`
+}
+
+type traceBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	Config      struct {
+		Objects int   `json:"objects"`
+		Queries int   `json:"queries"`
+		Dim     int   `json:"dim"`
+		KMax    int   `json:"k_max"`
+		Seed    int64 `json:"seed"`
+	} `json:"config"`
+	Benchmarks []traceBenchRow `json:"benchmarks"`
+	// OverheadPct maps "<solver>/<mode>" to (mode − off) / off for the
+	// idle and capture arms.
+	OverheadPct map[string]float64 `json:"overhead_pct"`
+}
+
+// benchSolverTrace measures one solver under the three tracing modes,
+// interleaved solve-by-solve (off, idle, capture, off, …) with per-mode
+// medians, for the same drift-resistance reasons as benchSolverPair.
+func benchSolverTrace(name string, run func(ctx context.Context) error) ([]traceBenchRow, error) {
+	const iters = 12
+	type accum struct {
+		times          []time.Duration
+		mallocs, bytes uint64
+		spans          int64
+	}
+	sample := func(m traceMode) (time.Duration, uint64, uint64, int64, error) {
+		was := obs.SetTracingEnabled(m.enabled)
+		defer obs.SetTracingEnabled(was)
+		ctx := context.Background()
+		var tr *obs.Trace
+		if m.attach {
+			tr = obs.NewTrace(name, 0)
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		runErr := run(ctx)
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		var spans int64
+		if tr != nil {
+			spans = int64(tr.SpanCount())
+		}
+		return elapsed, ms1.Mallocs - ms0.Mallocs, ms1.TotalAlloc - ms0.TotalAlloc, spans, runErr
+	}
+	// One warmup per mode.
+	for _, m := range traceModes {
+		if _, _, _, _, err := sample(m); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, m.Name, err)
+		}
+	}
+	acc := map[string]*accum{}
+	for _, m := range traceModes {
+		acc[m.Name] = &accum{}
+	}
+	runtime.GC()
+	for i := 0; i < iters; i++ {
+		for _, m := range traceModes {
+			d, mal, b, spans, err := sample(m)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, m.Name, err)
+			}
+			a := acc[m.Name]
+			a.times = append(a.times, d)
+			a.mallocs += mal
+			a.bytes += b
+			a.spans = spans
+		}
+	}
+	rows := make([]traceBenchRow, 0, len(traceModes))
+	for _, m := range traceModes {
+		a := acc[m.Name]
+		sort.Slice(a.times, func(x, y int) bool { return a.times[x] < a.times[y] })
+		med := (a.times[iters/2-1] + a.times[iters/2]) / 2
+		rows = append(rows, traceBenchRow{
+			Name:        name,
+			Mode:        m.Name,
+			Iterations:  iters,
+			NsPerOp:     float64(med.Nanoseconds()),
+			AllocsPerOp: int64(a.mallocs) / iters,
+			BytesPerOp:  int64(a.bytes) / iters,
+			SpansPerOp:  a.spans,
+		})
+	}
+	return rows, nil
+}
+
+// runTraceBench writes the tracing-overhead report to path.
+func runTraceBench(path string, seed int64) error {
+	sys, mcReqs, mhReqs, base, err := obsBenchWorkload(seed)
+	if err != nil {
+		return err
+	}
+	rep := &traceBenchReport{GeneratedBy: "iqbench -trace-json"}
+	rep.Config = base.Config
+	rep.OverheadPct = map[string]float64{}
+	for _, s := range []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"MinCost", func(ctx context.Context) error {
+			_, err := sys.MinCostCtx(ctx, mcReqs[0])
+			return err
+		}},
+		{"MaxHit", func(ctx context.Context) error {
+			_, err := sys.MaxHitCtx(ctx, mhReqs[0])
+			return err
+		}},
+	} {
+		rows, err := benchSolverTrace(s.name, s.run)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rows...)
+		off := rows[0].NsPerOp
+		for _, row := range rows[1:] {
+			rep.OverheadPct[s.name+"/"+row.Mode] = 100 * (row.NsPerOp - off) / off
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, row := range rep.Benchmarks {
+		fmt.Printf("%-8s trace=%-8s %12.0f ns/op %8d B/op %6d allocs/op %6d spans\n",
+			row.Name, row.Mode, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.SpansPerOp)
+	}
+	for name, pct := range rep.OverheadPct {
+		fmt.Printf("%-16s tracing overhead: %+.2f%%\n", name, pct)
+	}
+	return nil
+}

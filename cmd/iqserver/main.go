@@ -25,6 +25,9 @@ type appConfig struct {
 	logFormat      string
 	logLevel       string
 	pprof          bool
+	debugTraces    bool
+	traceAll       bool
+	slowSolve      time.Duration
 }
 
 // newLogger builds the process root logger: structured slog (JSON by
@@ -58,6 +61,9 @@ func newHTTPServer(cfg appConfig, logger *slog.Logger) *http.Server {
 		maxInflight:    cfg.maxInflight,
 		maxBodyBytes:   cfg.maxBodyBytes,
 		enablePprof:    cfg.pprof,
+		debugTraces:    cfg.debugTraces,
+		traceAll:       cfg.traceAll,
+		slowSolve:      cfg.slowSolve,
 	})
 	var writeTimeout time.Duration
 	if cfg.requestTimeout > 0 {
@@ -115,6 +121,12 @@ func main() {
 		"minimum log level: debug, info, warn, or error (debug includes per-solve engine lines)")
 	flag.BoolVar(&cfg.pprof, "pprof", false,
 		"mount net/http/pprof under /debug/pprof/ (trusted networks only)")
+	flag.BoolVar(&cfg.debugTraces, "debug-traces", defaults.debugTraces,
+		"enable the flight recorder at /debug/traces (requests opt in with X-IQ-Trace: 1 or trace=1)")
+	flag.BoolVar(&cfg.traceAll, "trace-all", false,
+		"capture a trace of every /v1 request without per-request opt-in (debugging sessions only)")
+	flag.DurationVar(&cfg.slowSolve, "slow-solve-threshold", 0,
+		"log completed solves slower than this at WARN with their work profile (0 disables)")
 	flag.Parse()
 
 	logger, err := newLogger(cfg)

@@ -17,8 +17,16 @@
 //	POST /v1/topk        {k, point}                    -> {ids}
 //	GET  /healthz                                      -> process liveness
 //	GET  /readyz                                       -> dataset loaded?
-//	GET  /metrics                                      -> Prometheus text exposition
+//	GET  /metrics                                      -> Prometheus text exposition (iq_* + go_* runtime families)
+//	GET  /debug/traces   (unless -debug-traces=false)  -> flight recorder: recent + slowest captured request traces
 //	GET  /debug/pprof/*  (only with -pprof)            -> net/http/pprof profiles
+//
+// Any /v1 request sent with the X-IQ-Trace: 1 header (or trace=1 query
+// parameter, or server-wide with -trace-all) is captured by the flight
+// recorder: the engine records a span tree of the request's solve, the
+// response carries its ID in X-IQ-Trace-ID, and /debug/traces?id=<id> serves
+// it as Chrome trace_event JSON for Perfetto / chrome://tracing
+// (&format=tree for a plain-text span tree).
 //
 // Cost selectors: "l2" (default), "l1", {"weighted": [α...]}, or
 // {"expr": "sqrt(s1^2+...)"}.
@@ -66,6 +74,18 @@ type serverConfig struct {
 	// default: the profiling endpoints leak heap contents and must be
 	// opted into on trusted networks only.
 	enablePprof bool
+	// debugTraces enables the flight recorder and its /debug/traces
+	// endpoint; individual requests still opt into capture (X-IQ-Trace
+	// header or trace=1) unless traceAll is set.
+	debugTraces bool
+	// traceAll captures every /v1 request without per-request opt-in.
+	// Meant for debugging sessions, not steady state: capture is cheap but
+	// not free, and the ring only holds the most recent captures anyway.
+	traceAll bool
+	// slowSolve is the latency threshold past which a completed solve logs
+	// a WARN line with its full work profile (and trace ID when captured).
+	// 0 disables.
+	slowSolve time.Duration
 }
 
 func defaultConfig() serverConfig {
@@ -73,6 +93,7 @@ func defaultConfig() serverConfig {
 		requestTimeout: 30 * time.Second,
 		maxInflight:    16,
 		maxBodyBytes:   8 << 20, // 8 MiB: a /v1/load of ~100k 3-d objects
+		debugTraces:    true,
 	}
 }
 
@@ -93,6 +114,8 @@ type server struct {
 	// inflight is the admission semaphore for the solver endpoints; nil
 	// when admission is unlimited.
 	inflight chan struct{}
+	// rec is the flight recorder backing /debug/traces; nil when disabled.
+	rec *flightRecorder
 }
 
 // system returns the current System pointer without holding the lock past
@@ -108,6 +131,9 @@ func newServer(logger *slog.Logger, cfg serverConfig) *server {
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
 	}
+	if cfg.debugTraces {
+		s.rec = newFlightRecorder()
+	}
 	return s
 }
 
@@ -117,35 +143,38 @@ func newServer(logger *slog.Logger, cfg serverConfig) *server {
 // through the admission semaphore.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	s.route(mux, "POST /v1/load", "/v1/load", http.HandlerFunc(s.handleLoad))
-	s.route(mux, "GET /v1/stats", "/v1/stats", http.HandlerFunc(s.handleStats))
-	s.route(mux, "POST /v1/mincost", "/v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
-	s.route(mux, "POST /v1/maxhit", "/v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
-	s.route(mux, "POST /v1/evaluate", "/v1/evaluate", http.HandlerFunc(s.handleEvaluate))
-	s.route(mux, "POST /v1/commit", "/v1/commit", http.HandlerFunc(s.handleCommit))
-	s.route(mux, "POST /v1/objects", "/v1/objects", http.HandlerFunc(s.handleAddObject))
-	s.route(mux, "POST /v1/queries", "/v1/queries", http.HandlerFunc(s.handleAddQuery))
-	s.route(mux, "POST /v1/topk", "/v1/topk", http.HandlerFunc(s.handleTopK))
-	s.route(mux, "GET /healthz", "/healthz", http.HandlerFunc(s.handleHealthz))
-	s.route(mux, "GET /readyz", "/readyz", http.HandlerFunc(s.handleReadyz))
-	s.route(mux, "GET /metrics", "/metrics", http.HandlerFunc(s.handleMetrics))
+	s.route(mux, "POST /v1/load", http.HandlerFunc(s.handleLoad))
+	s.route(mux, "GET /v1/stats", http.HandlerFunc(s.handleStats))
+	s.route(mux, "POST /v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
+	s.route(mux, "POST /v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
+	s.route(mux, "POST /v1/evaluate", http.HandlerFunc(s.handleEvaluate))
+	s.route(mux, "POST /v1/commit", http.HandlerFunc(s.handleCommit))
+	s.route(mux, "POST /v1/objects", http.HandlerFunc(s.handleAddObject))
+	s.route(mux, "POST /v1/queries", http.HandlerFunc(s.handleAddQuery))
+	s.route(mux, "POST /v1/topk", http.HandlerFunc(s.handleTopK))
+	s.route(mux, "GET /healthz", http.HandlerFunc(s.handleHealthz))
+	s.route(mux, "GET /readyz", http.HandlerFunc(s.handleReadyz))
+	s.route(mux, "GET /metrics", http.HandlerFunc(s.handleMetrics))
+	if s.rec != nil {
+		s.route(mux, "GET /debug/traces", http.HandlerFunc(s.handleDebugTraces))
+	}
 	if s.cfg.enablePprof {
 		// The pprof mux registrations are package-global; mount the
 		// handlers explicitly so the gate actually gates.
-		s.route(mux, "/debug/pprof/", "/debug/pprof", http.HandlerFunc(pprof.Index))
-		s.route(mux, "/debug/pprof/cmdline", "/debug/pprof", http.HandlerFunc(pprof.Cmdline))
-		s.route(mux, "/debug/pprof/profile", "/debug/pprof", http.HandlerFunc(pprof.Profile))
-		s.route(mux, "/debug/pprof/symbol", "/debug/pprof", http.HandlerFunc(pprof.Symbol))
-		s.route(mux, "/debug/pprof/trace", "/debug/pprof", http.HandlerFunc(pprof.Trace))
+		s.route(mux, "/debug/pprof/", http.HandlerFunc(pprof.Index))
+		s.route(mux, "/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		s.route(mux, "/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		s.route(mux, "/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		s.route(mux, "/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 	}
 	return mux
 }
 
-// route mounts one pattern with the standard middleware chain. The route
-// string is the metric label — a fixed set of values, never the raw URL
-// path, so label cardinality stays bounded.
-func (s *server) route(mux *http.ServeMux, pattern, route string, h http.Handler) {
-	mux.Handle(pattern, s.instrument(route, s.recoverPanics(h)))
+// route mounts one pattern with the standard middleware chain. The metric /
+// log / trace label is derived from the pattern by routeName — a fixed set
+// of values, never the raw URL path, so label cardinality stays bounded.
+func (s *server) route(mux *http.ServeMux, pattern string, h http.Handler) {
+	mux.Handle(pattern, s.instrument(routeName(pattern), s.recoverPanics(h)))
 }
 
 // statusWriter captures the response status for the metrics middleware.
@@ -187,6 +216,17 @@ func (s *server) instrument(route string, next http.Handler) http.Handler {
 		ctx := obs.WithRequestID(r.Context(), rid)
 		ctx = obs.WithLogger(ctx, s.log)
 		w.Header().Set("X-Request-ID", rid)
+		// Flight-recorder capture: attach a Trace to the context so every
+		// engine stage the handler reaches records spans into it, and
+		// return the trace ID so the client can fetch /debug/traces?id=.
+		var tr *obs.Trace
+		if s.rec != nil && traceable(route) && (s.cfg.traceAll || wantTrace(r)) {
+			tr = obs.NewTrace(route, 0)
+			ctx = obs.WithTrace(ctx, tr)
+			w.Header().Set("X-IQ-Trace-ID", tr.ID())
+			obs.Default.Counter("iq_traces_captured_total",
+				"Requests captured by the flight recorder.", "route", route).Inc()
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		inflight.Add(1)
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -196,6 +236,12 @@ func (s *server) instrument(route string, next http.Handler) http.Handler {
 			status = http.StatusOK
 		}
 		elapsed := time.Since(start)
+		if tr != nil {
+			s.rec.record(&traceEntry{
+				ID: tr.ID(), Route: route, Start: start,
+				Duration: elapsed, Status: status, Trace: tr,
+			})
+		}
 		dur.Observe(elapsed.Seconds())
 		obs.Default.Counter("iq_http_responses_total",
 			"HTTP responses by route and status class.",
@@ -246,12 +292,46 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// handleMetrics serves the registry in Prometheus text exposition format.
+// handleMetrics serves the registry in Prometheus text exposition format,
+// followed by the runtime/metrics bridge (go_* families: heap, GC pauses,
+// goroutines, scheduling latency) so one scrape covers both the engine and
+// the process hosting it.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", obs.ContentType)
 	if err := obs.Default.WritePrometheus(w); err != nil {
 		s.log.Error("metrics exposition failed", "err", err)
+		return
 	}
+	if err := obs.WriteRuntimeMetrics(w); err != nil {
+		s.log.Error("runtime metrics exposition failed", "err", err)
+	}
+}
+
+// warnIfSlow logs a completed solve that blew the -slow-solve-threshold at
+// WARN with its full work profile, plus the flight-recorder trace ID when
+// the request was captured — the log line links straight to the span tree
+// explaining where the time went.
+func (s *server) warnIfSlow(ctx context.Context, op string, st iq.SolveStats) {
+	if s.cfg.slowSolve <= 0 || st.Wall < s.cfg.slowSolve {
+		return
+	}
+	obs.Default.Counter("iq_slow_solves_total",
+		"Completed solves slower than -slow-solve-threshold.", "op", op).Inc()
+	attrs := []slog.Attr{
+		slog.String("op", op),
+		slog.Duration("wall", st.Wall),
+		slog.Duration("threshold", s.cfg.slowSolve),
+		slog.Int("rounds", st.Rounds),
+		slog.Int("probes", st.Probes),
+		slog.Int("pruned", st.Pruned),
+		slog.Int("candidates", st.Candidates),
+		slog.Duration("solve_hit_wall", st.SolveHitWall),
+		slog.Duration("eval_wall", st.EvalWall),
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		attrs = append(attrs, slog.String("trace_id", tr.ID()))
+	}
+	s.log.LogAttrs(ctx, slog.LevelWarn, "slow solve", attrs...)
 }
 
 // admit bounds the number of concurrently running solver requests. The
@@ -550,6 +630,7 @@ func (s *server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, statusFor(err), err)
 			return
 		}
+		s.warnIfSlow(ctx, "mincost", res.Stats)
 		s.writeJSON(w, http.StatusOK, iqResponse{
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
 			BaseHits: res.BaseHits, Iterations: res.Iterations, Stats: res.Stats,
@@ -582,6 +663,7 @@ func (s *server) handleMaxHit(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, statusFor(err), err)
 			return
 		}
+		s.warnIfSlow(ctx, "maxhit", res.Stats)
 		s.writeJSON(w, http.StatusOK, iqResponse{
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
 			BaseHits: res.BaseHits, Iterations: res.Iterations, Stats: res.Stats,
@@ -612,7 +694,7 @@ func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	s.withSystemExclusive(w, func(sys *iq.System) {
 		// Commit and recount in one atomic step: the reported hit count
 		// is from exactly the epoch this commit published.
-		hits, err := sys.CommitAndCount(req.Target, req.Strategy)
+		hits, err := sys.CommitAndCountCtx(r.Context(), req.Target, req.Strategy)
 		if err != nil {
 			s.writeErr(w, http.StatusBadRequest, err)
 			return
@@ -630,7 +712,7 @@ func (s *server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withSystemExclusive(w, func(sys *iq.System) {
-		id, err := sys.AddObject(req.Attrs)
+		id, err := sys.AddObjectCtx(r.Context(), req.Attrs)
 		if err != nil {
 			s.writeErr(w, http.StatusBadRequest, err)
 			return
@@ -645,7 +727,7 @@ func (s *server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withSystemExclusive(w, func(sys *iq.System) {
-		idx, err := sys.AddQuery(iq.Query{ID: req.ID, K: req.K, Point: req.Point})
+		idx, err := sys.AddQueryCtx(r.Context(), iq.Query{ID: req.ID, K: req.K, Point: req.Point})
 		if err != nil {
 			s.writeErr(w, http.StatusBadRequest, err)
 			return

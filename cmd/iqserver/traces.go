@@ -1,0 +1,207 @@
+package main
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iq/internal/obs"
+)
+
+// routeName derives the bounded metric/trace label for a mux pattern: the
+// method prefix is dropped ("POST /v1/mincost" -> "/v1/mincost") and the
+// pprof subtree collapses to one label ("/debug/pprof/profile" ->
+// "/debug/pprof") so profiling fan-out cannot widen label cardinality. Every
+// consumer of a route label — the metrics middleware, the request log, the
+// flight recorder — goes through this one function.
+func routeName(pattern string) string {
+	route := pattern
+	if i := strings.IndexByte(route, ' '); i >= 0 {
+		route = route[i+1:]
+	}
+	if strings.HasPrefix(route, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return route
+}
+
+// traceable reports whether a route's requests may be captured by the flight
+// recorder. Only the API surface is traceable: capturing the debug and
+// metrics endpoints would fill the ring with traces of reading traces.
+func traceable(route string) bool {
+	return strings.HasPrefix(route, "/v1/")
+}
+
+// wantTrace reports whether this request asked for capture, via the
+// X-IQ-Trace header or the trace=1 query parameter.
+func wantTrace(r *http.Request) bool {
+	if v := r.Header.Get("X-IQ-Trace"); v == "1" || strings.EqualFold(v, "true") {
+		return true
+	}
+	v := r.URL.Query().Get("trace")
+	return v == "1" || strings.EqualFold(v, "true")
+}
+
+// traceEntry is one captured request in the flight recorder.
+type traceEntry struct {
+	ID       string
+	Route    string
+	Start    time.Time
+	Duration time.Duration
+	Status   int
+	Trace    *obs.Trace
+}
+
+// recorderRing is the number of most-recent captures kept.
+const recorderRing = 64
+
+// slowestPerRoute is the depth of each route's slowest-requests board.
+const slowestPerRoute = 8
+
+// flightRecorder keeps a bounded in-memory record of captured request
+// traces: a ring of the most recent plus, per route, the slowest few — so a
+// latency spike is still inspectable after the ring has churned past it.
+// All methods are safe for concurrent use.
+type flightRecorder struct {
+	mu      sync.Mutex
+	ring    [recorderRing]*traceEntry
+	next    int
+	slowest map[string][]*traceEntry
+}
+
+func newFlightRecorder() *flightRecorder {
+	return &flightRecorder{slowest: make(map[string][]*traceEntry)}
+}
+
+// record files a completed capture into the ring and the route's slow board.
+func (f *flightRecorder) record(e *traceEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring[f.next%recorderRing] = e
+	f.next++
+	board := append(f.slowest[e.Route], e)
+	sort.Slice(board, func(i, j int) bool { return board[i].Duration > board[j].Duration })
+	if len(board) > slowestPerRoute {
+		board = board[:slowestPerRoute]
+	}
+	f.slowest[e.Route] = board
+}
+
+// lookup finds a capture by trace ID in the ring or any slow board.
+func (f *flightRecorder) lookup(id string) *traceEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range f.ring {
+		if e != nil && e.ID == id {
+			return e
+		}
+	}
+	for _, board := range f.slowest {
+		for _, e := range board {
+			if e.ID == id {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// recent returns the ring newest-first.
+func (f *flightRecorder) recent() []*traceEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*traceEntry, 0, recorderRing)
+	for i := f.next - 1; i >= 0 && i > f.next-1-recorderRing; i-- {
+		if e := f.ring[i%recorderRing]; e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// boards returns the per-route slowest lists, routes sorted for stable
+// rendering.
+func (f *flightRecorder) boards() []slowBoard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	routes := make([]string, 0, len(f.slowest))
+	for route := range f.slowest {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	out := make([]slowBoard, 0, len(routes))
+	for _, route := range routes {
+		entries := make([]*traceEntry, len(f.slowest[route]))
+		copy(entries, f.slowest[route])
+		out = append(out, slowBoard{Route: route, Entries: entries})
+	}
+	return out
+}
+
+type slowBoard struct {
+	Route   string
+	Entries []*traceEntry
+}
+
+// handleDebugTraces serves the flight recorder: without parameters an HTML
+// summary (recent captures plus the slowest-per-route boards), with ?id= the
+// selected trace as trace_event JSON (loadable in Perfetto or
+// chrome://tracing) or, with format=tree, as a human-readable span tree.
+func (s *server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		e := s.rec.lookup(id)
+		if e == nil {
+			s.writeErr(w, http.StatusNotFound, fmt.Errorf("trace %q not found (ring holds the last %d captures)", id, recorderRing))
+			return
+		}
+		if r.URL.Query().Get("format") == "tree" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := obs.WriteTree(w, e.Trace); err != nil {
+				s.log.Error("trace tree render failed", "id", id, "err", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%s.trace.json", id))
+		if err := obs.WriteTraceEvent(w, e.Trace); err != nil {
+			s.log.Error("trace export failed", "id", id, "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<!doctype html><title>iqserver flight recorder</title>")
+	b.WriteString("<style>body{font-family:monospace}table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:2px 8px;text-align:left}</style>")
+	b.WriteString("<h1>flight recorder</h1>")
+	b.WriteString("<p>Capture a request with header <code>X-IQ-Trace: 1</code> or query <code>trace=1</code>. ")
+	b.WriteString("Trace links download Chrome trace_event JSON — load in <a href=\"https://ui.perfetto.dev\">Perfetto</a> or chrome://tracing.</p>")
+	writeEntries := func(title string, entries []*traceEntry) {
+		b.WriteString("<h2>" + html.EscapeString(title) + "</h2>")
+		if len(entries) == 0 {
+			b.WriteString("<p>none captured yet</p>")
+			return
+		}
+		b.WriteString("<table><tr><th>trace</th><th>route</th><th>status</th><th>duration</th><th>spans</th><th>dropped</th><th>start</th><th></th></tr>")
+		for _, e := range entries {
+			id := html.EscapeString(e.ID)
+			fmt.Fprintf(&b,
+				"<tr><td><a href=\"/debug/traces?id=%s\">%s</a></td><td>%s</td><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td><a href=\"/debug/traces?id=%s&amp;format=tree\">tree</a></td></tr>",
+				id, id, html.EscapeString(e.Route), e.Status, e.Duration.Round(time.Microsecond),
+				e.Trace.SpanCount(), e.Trace.Dropped(),
+				e.Start.Format(time.RFC3339), id)
+		}
+		b.WriteString("</table>")
+	}
+	writeEntries("recent captures", s.rec.recent())
+	for _, board := range s.rec.boards() {
+		writeEntries("slowest: "+board.Route, board.Entries)
+	}
+	if _, err := fmt.Fprint(w, b.String()); err != nil {
+		s.log.Error("trace summary write failed", "err", err)
+	}
+}

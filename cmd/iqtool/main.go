@@ -13,6 +13,10 @@ func main() {
 		"fetch this /metrics URL (retrying until the server is up), validate the Prometheus exposition, and exit")
 	scrapeWait := flag.Duration("scrape-timeout", 15*time.Second,
 		"how long -scrape-metrics keeps retrying before giving up")
+	traceOut := flag.String("trace", "",
+		"run a demo Min-Cost solve under a trace, write Perfetto-loadable trace_event JSON to this file, and exit")
+	traceSrv := flag.String("trace-server", "",
+		"drive a live iqserver at this base URL: load a demo dataset, capture a traced solve, download and validate it from /debug/traces")
 	flag.Parse()
 	if *scrapeURL != "" {
 		n, err := scrapeMetrics(*scrapeURL, *scrapeWait)
@@ -21,6 +25,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("scraped %s: %d series, exposition valid\n", *scrapeURL, n)
+		return
+	}
+	if *traceSrv != "" {
+		out := *traceOut
+		if out == "" {
+			out = "server.trace.json"
+		}
+		if err := traceServer(*traceSrv, out, *seed, *scrapeWait); err != nil {
+			fmt.Fprintf(os.Stderr, "iqtool: trace-server %s: %v\n", *traceSrv, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceOut != "" {
+		if err := traceLocal(*traceOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqtool: trace: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	run(os.Stdin, os.Stdout, *seed)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"iq/internal/lp"
+	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/vec"
 )
@@ -42,9 +43,11 @@ func ExhaustiveMinCost(idx *subdomain.Index, req MinCostRequest) (*Result, error
 // best-so-far strategy.
 func ExhaustiveMinCostCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "mincost-exhaustive")
 	rec := newRecorder()
 	res, err := exhaustiveMinCostSolve(ctx, idx, req, rec)
 	st := finishSolve(ctx, "mincost-exhaustive", start, rec, 0, err)
+	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st
 	}
@@ -95,10 +98,12 @@ func exhaustiveMinCostSolve(ctx context.Context, idx *subdomain.Index, req MinCo
 	bestCost := math.Inf(1)
 	var bestS vec.Vector
 	stop := stopEvery(ctx, 1024)
+	chunks := newChunkSpans(ctx, 2048)
 	forEachSubset(len(constrained), effTau, func(subset []int) bool {
 		if stop() {
 			return false
 		}
+		chunks.tick()
 		ns := make([]vec.Vector, len(subset))
 		bs := make([]float64, len(subset))
 		for i, si := range subset {
@@ -119,6 +124,7 @@ func exhaustiveMinCostSolve(ctx context.Context, idx *subdomain.Index, req MinCo
 		}
 		return true
 	})
+	chunks.close()
 	if err := CtxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -140,9 +146,11 @@ func ExhaustiveMaxHit(idx *subdomain.Index, req MaxHitRequest) (*Result, error) 
 // subset enumerations abort when ctx fails, discarding partial search state.
 func ExhaustiveMaxHitCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "maxhit-exhaustive")
 	rec := newRecorder()
 	res, err := exhaustiveMaxHitSolve(ctx, idx, req, rec)
 	st := finishSolve(ctx, "maxhit-exhaustive", start, rec, 0, err)
+	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st
 	}
@@ -173,16 +181,19 @@ func exhaustiveMaxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHit
 	}
 	d := len(w.Attrs(req.Target))
 	stop := stopEvery(ctx, 1024)
+	chunks := newChunkSpans(ctx, 2048)
 	for h := len(constrained); h >= 0; h-- {
 		var bestS vec.Vector
 		bestCost := math.Inf(1)
 		if h == 0 {
+			chunks.close()
 			return finishExhaustive(idx, req.Target, req.Cost, vec.New(d))
 		}
 		forEachSubset(len(constrained), h, func(subset []int) bool {
 			if stop() {
 				return false
 			}
+			chunks.tick()
 			ns := make([]vec.Vector, len(subset))
 			bs := make([]float64, len(subset))
 			for i, si := range subset {
@@ -204,12 +215,15 @@ func exhaustiveMaxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHit
 			return true
 		})
 		if err := CtxErr(ctx); err != nil {
+			chunks.close()
 			return nil, err
 		}
 		if bestS != nil {
+			chunks.close()
 			return finishExhaustive(idx, req.Target, req.Cost, bestS)
 		}
 	}
+	chunks.close()
 	return finishExhaustive(idx, req.Target, req.Cost, vec.New(d))
 }
 
@@ -296,6 +310,50 @@ func forEachSubset(n, k int, visit func([]int) bool) {
 		return true
 	}
 	rec(0, 0)
+}
+
+// chunkSpans groups a subset enumeration's visits into fixed-size
+// "enumerate" spans, so a traced exhaustive solve shows where enumeration
+// time went without recording one span per subset (which would blow the
+// trace's span budget within milliseconds). newChunkSpans returns nil when
+// the solve is untraced, and every method is nil-safe, so the enumeration
+// hot loop pays one pointer test per subset.
+type chunkSpans struct {
+	ctx     context.Context
+	size    int
+	inChunk int
+	sp      *obs.Span
+}
+
+func newChunkSpans(ctx context.Context, size int) *chunkSpans {
+	if !obs.TracingEnabled() || obs.TraceFrom(ctx) == nil {
+		return nil
+	}
+	return &chunkSpans{ctx: ctx, size: size}
+}
+
+// tick records one visited subset, rolling to a fresh span every `size`
+// visits.
+func (c *chunkSpans) tick() {
+	if c == nil {
+		return
+	}
+	if c.sp == nil || c.inChunk == c.size {
+		c.close()
+		_, c.sp = obs.StartSpan(c.ctx, "enumerate")
+		c.inChunk = 0
+	}
+	c.inChunk++
+}
+
+// close ends the open chunk span, stamping how many subsets it covered.
+func (c *chunkSpans) close() {
+	if c == nil || c.sp == nil {
+		return
+	}
+	c.sp.SetAttr("subsets", c.inChunk)
+	c.sp.End()
+	c.sp = nil
 }
 
 // stopEvery returns a closure that polls ctx once per `stride` calls (and

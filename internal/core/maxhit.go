@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/vec"
 )
@@ -47,6 +48,7 @@ func MaxHitIQ(idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 // the definition and never worse.
 func MaxHitIQCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (*Result, error) {
 	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "maxhit")
 	rec := newRecorder()
 	res, err := maxHitSolve(ctx, idx, req, rec)
 	rounds := 0
@@ -54,6 +56,7 @@ func MaxHitIQCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (
 		rounds = res.Iterations
 	}
 	st := finishSolve(ctx, "maxhit", start, rec, rounds, err)
+	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st
 	}
@@ -71,7 +74,7 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 		return nil, err
 	}
 	w := idx.Workload()
-	pool, err := evaluatorPool(idx, req.Target, req.Workers)
+	pool, err := evaluatorPool(ctx, idx, req.Target, req.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -96,13 +99,19 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 		if err := checkpoint(ctx, "maxhit", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
+		// Round spans end explicitly on every exit path — defer inside a
+		// loop would pile up until the solve returns.
+		rctx, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttr("round", res.Iterations)
+		cands, err := generateCandidates(rctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		res.Evaluations += len(cands)
 		best, ok := bestRatio(cands, curHits)
 		if !ok {
+			rsp.End()
 			break // no candidate gains hits: every query hit or infeasible
 		}
 		if best.Cost <= req.Budget {
@@ -110,12 +119,15 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 			curHits = best.Hits
 			coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
 			if err != nil {
+				rsp.End()
 				return res, err
 			}
 			hit = ev.HitSet(coeff)
 			res.Strategy = vec.Clone(cur)
 			res.Cost = req.Cost.Of(cur)
 			res.Hits = curHits
+			rsp.SetAttr("hits", curHits)
+			rsp.End()
 			continue
 		}
 		// Final fill pass (Algorithm 4 lines 13–18): cheapest-first over
@@ -138,6 +150,7 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 			curHits = c.Hits
 			coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
 			if err != nil {
+				rsp.End()
 				return res, err
 			}
 			hit = ev.HitSet(coeff)
@@ -147,6 +160,8 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 			applied = true
 			break
 		}
+		rsp.SetAttr("hits", curHits)
+		rsp.End()
 		if !applied {
 			break // nothing affordable gains a hit
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/vec"
 )
@@ -72,6 +73,7 @@ func MinCostIQ(idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 // ctx.Err().
 func MinCostIQCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest) (*Result, error) {
 	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "mincost")
 	rec := newRecorder()
 	res, err := minCostSolve(ctx, idx, req, rec)
 	rounds := 0
@@ -79,6 +81,7 @@ func MinCostIQCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest)
 		rounds = res.Iterations
 	}
 	st := finishSolve(ctx, "mincost", start, rec, rounds, err)
+	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st
 	}
@@ -99,7 +102,7 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 	if req.Tau > w.NumQueries() {
 		return nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", req.Tau, w.NumQueries(), ErrGoalUnreachable)
 	}
-	pool, err := evaluatorPool(idx, req.Target, req.Workers)
+	pool, err := evaluatorPool(ctx, idx, req.Target, req.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -124,13 +127,19 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 		if err := checkpoint(ctx, "mincost", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, err := generateCandidates(ctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
+		// Round spans end explicitly on every exit path — defer inside a
+		// loop would pile up until the solve returns.
+		rctx, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttr("round", res.Iterations)
+		cands, err := generateCandidates(rctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		res.Evaluations += len(cands)
 		best, ok := bestRatio(cands, curHits)
 		if !ok {
+			rsp.End()
 			return res, fmt.Errorf("core: stalled at %d of %d hits: %w", curHits, req.Tau, ErrGoalUnreachable)
 		}
 		if best.Hits > req.Tau {
@@ -155,12 +164,15 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 		curHits = best.Hits
 		coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
 		if err != nil {
+			rsp.End()
 			return res, err
 		}
 		hit = ev.HitSet(coeff)
 		res.Strategy = vec.Clone(cur)
 		res.Cost = req.Cost.Of(cur)
 		res.Hits = curHits
+		rsp.SetAttr("hits", curHits)
+		rsp.End()
 		if res.Iterations > w.NumQueries()+req.Tau+8 {
 			return res, fmt.Errorf("core: iteration guard tripped: %w", ErrGoalUnreachable)
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"iq/internal/ese"
+	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -59,7 +60,7 @@ type multiState struct {
 	union map[int]int    // query -> number of targets hitting it
 }
 
-func newMultiState(idx *subdomain.Index, specs []TargetSpec) (*multiState, error) {
+func newMultiState(ctx context.Context, idx *subdomain.Index, specs []TargetSpec) (*multiState, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: no target objects")
 	}
@@ -73,7 +74,7 @@ func newMultiState(idx *subdomain.Index, specs []TargetSpec) (*multiState, error
 			return nil, fmt.Errorf("core: duplicate target %d", spec.Target)
 		}
 		seen[spec.Target] = true
-		ev, err := ese.New(idx, spec.Target)
+		ev, err := ese.NewCtx(ctx, idx, spec.Target)
 		if err != nil {
 			return nil, err
 		}
@@ -162,19 +163,30 @@ func (st *multiState) generate(ctx context.Context, rec *recorder) ([]multiCandi
 				return nil, evals, err
 			}
 			t0 := rec.probeStart()
+			pctx, psp := obs.StartSpan(ctx, "probe")
+			psp.SetAttr("target", spec.Target)
+			psp.SetAttr("query", j)
 			u, err := solveHit(st.idx, spec.Target, st.cur[i], j, spec.Cost, spec.Bounds)
 			t1 := rec.solveDone(t0)
 			if err != nil || !spec.Bounds.Contains(u) {
 				rec.pruned.Add(1)
+				psp.SetAttr("pruned", "infeasible")
+				psp.End()
 				continue
 			}
 			coeff, err := w.Space().Embed(vec.Add(w.Attrs(spec.Target), u))
 			if err != nil {
 				rec.pruned.Add(1)
+				psp.SetAttr("pruned", "embed")
+				psp.End()
 				continue
 			}
+			_, esp := obs.StartSpan(pctx, "eval")
 			newHits := st.evs[i].HitSet(coeff)
+			esp.SetAttr("hits", len(newHits))
+			esp.End()
 			rec.evalDone(t1)
+			psp.End()
 			evals++
 			// Union size if applied.
 			size := st.unionSize()
@@ -211,6 +223,7 @@ func CombinatorialMinCostIQ(idx *subdomain.Index, specs []TargetSpec, tau int) (
 // strategies and returns a nil MultiResult.
 func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, tau int) (*MultiResult, error) {
 	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "mincost-multi")
 	rec := newRecorder()
 	res, err := combMinCostSolve(ctx, idx, specs, tau, rec)
 	rounds := 0
@@ -218,6 +231,7 @@ func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs 
 		rounds = res.Iterations
 	}
 	stats := finishSolve(ctx, "mincost-multi", start, rec, rounds, err)
+	endSolveSpan(span, stats, err)
 	if res != nil {
 		res.Stats = stats
 	}
@@ -225,7 +239,7 @@ func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs 
 }
 
 func combMinCostSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, tau int, rec *recorder) (*MultiResult, error) {
-	st, err := newMultiState(idx, specs)
+	st, err := newMultiState(ctx, idx, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -243,13 +257,19 @@ func combMinCostSolve(ctx context.Context, idx *subdomain.Index, specs []TargetS
 		if err := checkpoint(ctx, "mincost-multi", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, evals, err := st.generate(ctx, rec)
+		// Round spans end explicitly on every exit path — defer inside a
+		// loop would pile up until the solve returns.
+		rctx, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttr("round", res.Iterations)
+		cands, evals, err := st.generate(rctx, rec)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		res.Evaluations += evals
 		best, ok := pickBestMulti(cands, st.unionSize())
 		if !ok {
+			rsp.End()
 			st.fill(res)
 			return res, fmt.Errorf("core: stalled at %d of %d hits: %w", st.unionSize(), tau, ErrGoalUnreachable)
 		}
@@ -267,8 +287,11 @@ func combMinCostSolve(ctx context.Context, idx *subdomain.Index, specs []TargetS
 			}
 		}
 		if err := st.apply(best.slot, best.strategy); err != nil {
+			rsp.End()
 			return res, err
 		}
+		rsp.SetAttr("hits", st.unionSize())
+		rsp.End()
 	}
 	st.fill(res)
 	return res, nil
@@ -286,6 +309,7 @@ func CombinatorialMaxHitIQ(idx *subdomain.Index, specs []TargetSpec, budget floa
 // strategies and returns a nil MultiResult.
 func CombinatorialMaxHitIQCtx(ctx context.Context, idx *subdomain.Index, specs []TargetSpec, budget float64) (*MultiResult, error) {
 	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "maxhit-multi")
 	rec := newRecorder()
 	res, err := combMaxHitSolve(ctx, idx, specs, budget, rec)
 	rounds := 0
@@ -293,6 +317,7 @@ func CombinatorialMaxHitIQCtx(ctx context.Context, idx *subdomain.Index, specs [
 		rounds = res.Iterations
 	}
 	stats := finishSolve(ctx, "maxhit-multi", start, rec, rounds, err)
+	endSolveSpan(span, stats, err)
 	if res != nil {
 		res.Stats = stats
 	}
@@ -303,7 +328,7 @@ func combMaxHitSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSp
 	if budget < 0 {
 		return nil, fmt.Errorf("core: negative budget %g", budget)
 	}
-	st, err := newMultiState(idx, specs)
+	st, err := newMultiState(ctx, idx, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -317,8 +342,13 @@ func combMaxHitSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSp
 		if err := checkpoint(ctx, "maxhit-multi", res.Iterations); err != nil {
 			return nil, err
 		}
-		cands, evals, err := st.generate(ctx, rec)
+		// Round spans end explicitly on every exit path — defer inside a
+		// loop would pile up until the solve returns.
+		rctx, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttr("round", res.Iterations)
+		cands, evals, err := st.generate(rctx, rec)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		res.Evaluations += evals
@@ -331,11 +361,15 @@ func combMaxHitSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSp
 		}
 		best, ok := pickBestMulti(affordable, st.unionSize())
 		if !ok {
+			rsp.End()
 			break // Step 2: candidate set empty → terminate
 		}
 		if err := st.apply(best.slot, best.strategy); err != nil {
+			rsp.End()
 			return res, err
 		}
+		rsp.SetAttr("hits", st.unionSize())
+		rsp.End()
 	}
 	st.fill(res)
 	return res, nil

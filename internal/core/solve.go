@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"iq/internal/ese"
+	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -199,36 +200,52 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 			unhit = append(unhit, j)
 		}
 	}
+	ctx, csp := obs.StartSpan(ctx, "candidates")
+	csp.SetAttr("unhit", len(unhit))
+	csp.SetAttr("workers", len(pool))
+	defer csp.End()
 	results := make([]*Candidate, len(unhit))
-	probe := func(ev *ese.Evaluator, slot int) {
+	probe := func(pctx context.Context, ev *ese.Evaluator, slot int) {
 		fireProbe(slot)
 		t0 := rec.probeStart()
 		j := unhit[slot]
+		pctx, psp := obs.StartSpan(pctx, "probe")
+		psp.SetAttr("query", j)
 		u, err := solveHit(idx, target, cur, j, cost, bounds)
 		t1 := rec.solveDone(t0)
 		if err != nil {
 			rec.pruned.Add(1)
+			psp.SetAttr("pruned", "infeasible")
+			psp.End()
 			return // infeasible for this query (e.g. bounds); skip
 		}
 		if !bounds.Contains(u) {
 			rec.pruned.Add(1)
+			psp.SetAttr("pruned", "bounds")
+			psp.End()
 			return
 		}
 		coeff, err := w.Space().Embed(vec.Add(w.Attrs(target), u))
 		if err != nil {
 			rec.pruned.Add(1)
+			psp.SetAttr("pruned", "embed")
+			psp.End()
 			return
 		}
+		_, esp := obs.StartSpan(pctx, "eval")
 		h := ev.HitsWithCoeff(coeff)
+		esp.SetAttr("hits", h)
+		esp.End()
 		rec.evalDone(t1)
 		results[slot] = &Candidate{Query: j, Strategy: u, Cost: cost.Of(u), Hits: h}
+		psp.End()
 	}
 	if len(pool) <= 1 || len(unhit) < 2*len(pool) {
 		for slot := range unhit {
 			if ctx.Err() != nil {
 				break
 			}
-			probe(pool[0], slot)
+			probe(ctx, pool[0], slot)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -236,11 +253,14 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 			wg.Add(1)
 			go func(wkr int) {
 				defer wg.Done()
+				wctx, wsp := obs.StartSpan(ctx, "worker")
+				wsp.SetAttr("worker", wkr)
+				defer wsp.End()
 				for slot := wkr; slot < len(unhit); slot += len(pool) {
 					if ctx.Err() != nil {
 						return
 					}
-					probe(pool[wkr], slot)
+					probe(wctx, pool[wkr], slot)
 				}
 			}(wkr)
 		}
@@ -285,12 +305,12 @@ func clampWorkers(workers, queries int) int {
 // for one target. Each evaluator carries its own scratch state — the delta
 // buffers and rank caches are mutable — so evaluators are never shared
 // between goroutines; the pool size bounds candidate-generation
-// parallelism.
-func evaluatorPool(idx *subdomain.Index, target, workers int) ([]*ese.Evaluator, error) {
+// parallelism. The context is only used for tracing (ese/build spans).
+func evaluatorPool(ctx context.Context, idx *subdomain.Index, target, workers int) ([]*ese.Evaluator, error) {
 	workers = clampWorkers(workers, idx.Workload().NumQueries())
 	pool := make([]*ese.Evaluator, workers)
 	for i := range pool {
-		ev, err := ese.New(idx, target)
+		ev, err := ese.NewCtx(ctx, idx, target)
 		if err != nil {
 			return nil, err
 		}

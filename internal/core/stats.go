@@ -125,6 +125,30 @@ func outcomeOf(err error) string {
 	}
 }
 
+// startSolveSpan opens the root span for one solve ("solve/<op>"). It is a
+// no-op returning a nil span unless the context carries a trace and tracing
+// is enabled; endSolveSpan closes it with the solve's SolveStats as attrs so
+// a trace cross-references the same counters /metrics aggregates.
+func startSolveSpan(ctx context.Context, op string) (context.Context, *obs.Span) {
+	return obs.StartSpan(ctx, "solve/"+op)
+}
+
+// endSolveSpan stamps the solve's outcome and work profile onto its root
+// span and closes it. Nil-safe, like all span operations.
+func endSolveSpan(sp *obs.Span, st SolveStats, err error) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("outcome", outcomeOf(err))
+	sp.SetAttr("rounds", st.Rounds)
+	sp.SetAttr("probes", st.Probes)
+	sp.SetAttr("pruned", st.Pruned)
+	sp.SetAttr("candidates", st.Candidates)
+	sp.SetAttr("solve_hit_wall", st.SolveHitWall)
+	sp.SetAttr("eval_wall", st.EvalWall)
+	sp.End()
+}
+
 // finishSolve publishes one solve's metrics and emits the engine's Debug log
 // line (carrying the caller's request ID when the context has one).
 func finishSolve(ctx context.Context, op string, start time.Time, rec *recorder, rounds int, err error) SolveStats {

@@ -10,6 +10,7 @@
 package ese
 
 import (
+	"context"
 	"fmt"
 
 	"iq/internal/obs"
@@ -89,10 +90,22 @@ type Evaluator struct {
 	// one goroutine) and flushed to the package counters per evaluation.
 	pendSlab  int64
 	pendPrune int64
+
+	// ctx carries the solve's trace (if any) for ese/rebuild spans; an
+	// evaluator is a per-solve object owned by one goroutine, so retaining
+	// the solve's context here is sound. Never nil.
+	ctx context.Context
 }
 
 // New builds an evaluator for the given target object index.
 func New(idx *subdomain.Index, target int) (*Evaluator, error) {
+	return NewCtx(context.Background(), idx, target)
+}
+
+// NewCtx is New with tracing: when ctx carries a trace, construction records
+// an "ese/build" span and later epoch-forced rebuilds record "ese/rebuild"
+// spans against the same trace.
+func NewCtx(ctx context.Context, idx *subdomain.Index, target int) (*Evaluator, error) {
 	w := idx.Workload()
 	if target < 0 || target >= w.NumObjects() {
 		return nil, fmt.Errorf("ese: target %d out of range", target)
@@ -100,8 +113,11 @@ func New(idx *subdomain.Index, target int) (*Evaluator, error) {
 	if w.IsRemoved(target) {
 		return nil, fmt.Errorf("ese: target %d is removed", target)
 	}
-	e := &Evaluator{idx: idx, w: w, target: target}
+	e := &Evaluator{idx: idx, w: w, target: target, ctx: ctx}
+	_, sp := obs.StartSpan(ctx, "ese/build")
+	sp.SetAttr("target", target)
 	e.rebuild()
+	sp.End()
 	mEvaluatorsBuilt.Inc()
 	return e, nil
 }
@@ -165,7 +181,9 @@ func (e *Evaluator) rebuild() {
 func (e *Evaluator) ensureFresh() {
 	if e.idx.Epoch() != e.epoch {
 		mRebuilds.Inc()
+		_, sp := obs.StartSpan(e.ctx, "ese/rebuild")
 		e.rebuild()
+		sp.End()
 	}
 }
 

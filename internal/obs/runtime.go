@@ -1,0 +1,120 @@
+// runtime/metrics bridge: samples the Go runtime's own metric set — heap
+// size, GC pauses, goroutine count, scheduler latency — and renders it in
+// the same Prometheus text format as the registry, so one /metrics scrape
+// carries both engine counters and runtime health. Stateless by design:
+// every call re-samples, nothing is registered, and the family names live
+// under a `go_` prefix so they can never collide with the `iq_` registry.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeGauges maps runtime/metrics sample names to exposition families.
+// All are uint64-kind samples rendered as gauges (cycle counts are
+// monotone, but gauge keeps the bridge uniform and scrape-safe).
+var runtimeGauges = []struct {
+	sample, name, help string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of heap occupied by live and dead objects."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles", "Completed GC cycles since process start."},
+}
+
+// runtimeHists maps float64-histogram samples to exposition families. The
+// runtime's native buckets are version-dependent and number in the
+// hundreds, so each is re-bucketed onto a fixed seconds ladder.
+var runtimeHists = []struct {
+	sample, name, help string
+}{
+	{"/gc/pauses:seconds", "go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies."},
+	{"/sched/latencies:seconds", "go_sched_latency_seconds", "Distribution of goroutine scheduling latencies."},
+}
+
+// runtimeLadder is the fixed upper-bound ladder (seconds) runtime
+// histograms are folded onto: 1µs to 1s, decade steps.
+var runtimeLadder = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// WriteRuntimeMetrics samples runtime/metrics and writes the bridge
+// families in Prometheus text format. The output passes ParseExposition on
+// its own and appended after WritePrometheus output (disjoint family
+// names). Samples this Go version doesn't provide are skipped silently.
+func WriteRuntimeMetrics(w io.Writer) error {
+	names := make([]metrics.Sample, 0, len(runtimeGauges)+len(runtimeHists))
+	for _, g := range runtimeGauges {
+		names = append(names, metrics.Sample{Name: g.sample})
+	}
+	for _, h := range runtimeHists {
+		names = append(names, metrics.Sample{Name: h.sample})
+	}
+	metrics.Read(names)
+
+	bw := bufio.NewWriter(w)
+	for i, g := range runtimeGauges {
+		s := names[i]
+		if s.Value.Kind() != metrics.KindUint64 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(bw, "%s %d\n", g.name, s.Value.Uint64())
+	}
+	for i, h := range runtimeHists {
+		s := names[len(runtimeGauges)+i]
+		if s.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", h.name, h.help)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.name)
+		writeRuntimeHistogram(bw, h.name, s.Value.Float64Histogram())
+	}
+	return bw.Flush()
+}
+
+// writeRuntimeHistogram folds a runtime Float64Histogram onto the fixed
+// ladder and writes cumulative buckets, an estimated _sum (bucket-midpoint
+// weighted; the runtime does not expose an exact sum), and _count.
+func writeRuntimeHistogram(w io.Writer, name string, h *metrics.Float64Histogram) {
+	counts := make([]uint64, len(runtimeLadder)+1) // +1 = overflow (+Inf)
+	var total uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		slot := len(runtimeLadder)
+		for j, up := range runtimeLadder {
+			if hi <= up {
+				slot = j
+				break
+			}
+		}
+		counts[slot] += c
+		total += c
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(hi, 1) && math.IsInf(lo, -1):
+			mid = 0
+		case math.IsInf(hi, 1):
+			mid = lo
+		case math.IsInf(lo, -1):
+			mid = hi
+		}
+		sum += mid * float64(c)
+	}
+	cum := uint64(0)
+	for j, up := range runtimeLadder {
+		cum += counts[j]
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(up), cum)
+	}
+	cum += counts[len(runtimeLadder)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteRuntimeMetricsValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntimeMetrics(&buf); err != nil {
+		t.Fatalf("WriteRuntimeMetrics: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"go_goroutines ",
+		"# TYPE go_gc_pause_seconds histogram",
+		`go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"# TYPE go_sched_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("bridge output fails exposition validation: %v", err)
+	}
+}
+
+// TestRuntimeMetricsComposeWithRegistry checks the /metrics concatenation
+// the server performs: registry families followed by bridge families must
+// parse as one well-formed exposition (disjoint names, no duplicate TYPEs).
+func TestRuntimeMetricsComposeWithRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("iq_compose_test_total", "test counter").Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRuntimeMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("combined exposition invalid: %v", err)
+	}
+	if vals["iq_compose_test_total"] != 1 {
+		t.Fatalf("registry series lost in combined output")
+	}
+	if _, ok := vals["go_goroutines"]; !ok {
+		t.Fatalf("bridge series lost in combined output")
+	}
+}

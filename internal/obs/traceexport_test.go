@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedTrace builds a trace with deterministic ids and timestamps by
+// constructing spans directly (same-package test), so exporter output is
+// byte-stable for the golden comparison. The shape mirrors a real solve:
+// solve → two rounds, the first round with two overlapping probes (the
+// parallel path), which forces the second probe onto its own lane.
+func fixedTrace() *Trace {
+	tr := &Trace{id: "00000000deadbeef", name: "mincost", start: time.Unix(1000, 0), max: 100}
+	add := func(id, parent int64, name string, tsUS, durUS int64, attrs ...Attr) {
+		tr.spans = append(tr.spans, &Span{
+			tr: tr, id: id, parent: parent, name: name,
+			start: tr.start.Add(time.Duration(tsUS) * time.Microsecond),
+			dur:   time.Duration(durUS) * time.Microsecond,
+			attrs: attrs,
+		})
+	}
+	add(1, 0, "solve/mincost", 0, 1000, Attr{Key: "rounds", Value: 2}, Attr{Key: "probes", Value: int64(3)})
+	add(2, 1, "round", 100, 400, Attr{Key: "round", Value: 1})
+	add(3, 2, "probe", 150, 100, Attr{Key: "query", Value: 3})
+	add(4, 2, "probe", 160, 120, Attr{Key: "query", Value: 5})
+	add(5, 1, "round", 600, 300, Attr{Key: "round", Value: 2})
+	return tr
+}
+
+func TestWriteTraceEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvent(&buf, fixedTrace()); err != nil {
+		t.Fatalf("WriteTraceEvent: %v", err)
+	}
+	golden := filepath.Join("testdata", "trace_event.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace_event output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteTraceEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvent(&buf, fixedTrace()); err != nil {
+		t.Fatalf("WriteTraceEvent: %v", err)
+	}
+	out := buf.String()
+
+	// Field order within an event is fixed by struct declaration order:
+	// name, cat, ph, ts all inside the solve event.
+	iName := strings.Index(out, `"name": "solve/mincost"`)
+	if iName < 0 {
+		t.Fatalf("solve event missing:\n%s", out)
+	}
+	rest := out[iName:]
+	iCat := strings.Index(rest, `"cat": "iq"`)
+	iTs := strings.Index(rest, `"ts": 0`)
+	if iCat < 0 || iTs < 0 || !(iCat < iTs) {
+		t.Fatalf("expected name < cat < ts field order, got output:\n%s", out)
+	}
+
+	p, err := ParseTraceEvent(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseTraceEvent: %v", err)
+	}
+	if p.Events != 5 {
+		t.Fatalf("Events = %d, want 5", p.Events)
+	}
+	// solve → round → probe nests three deep.
+	if p.MaxDepth != 3 {
+		t.Fatalf("MaxDepth = %d, want 3", p.MaxDepth)
+	}
+	if p.Names["probe"] != 2 || p.Names["round"] != 2 || p.Names["solve/mincost"] != 1 {
+		t.Fatalf("unexpected name counts: %v", p.Names)
+	}
+	if p.TraceID != "00000000deadbeef" {
+		t.Fatalf("TraceID = %q", p.TraceID)
+	}
+}
+
+// TestAssignLanesSplitsOverlap checks that overlapping sibling probes land
+// on different tids while the sequential chain shares one.
+func TestAssignLanesSplitsOverlap(t *testing.T) {
+	spans := exportSpans(fixedTrace())
+	assignLanes(spans)
+	lane := map[int64]int64{}
+	for _, es := range spans {
+		lane[es.span.id] = es.lane
+	}
+	if lane[1] != 1 || lane[2] != 1 || lane[3] != 1 || lane[5] != 1 {
+		t.Fatalf("sequential chain should share lane 1: %v", lane)
+	}
+	if lane[4] == lane[3] {
+		t.Fatalf("overlapping probes must not share a lane: %v", lane)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, fixedTrace()); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace 00000000deadbeef (mincost): 5 spans, 0 dropped",
+		"  solve/mincost 1ms rounds=2 probes=3",
+		"    round 400µs round=1",
+		"      probe 100µs query=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, out)
+		}
+	}
+	// probe must be indented deeper than round, round deeper than solve.
+	if !strings.Contains(out, "\n      probe") {
+		t.Fatalf("probe not at depth 3:\n%s", out)
+	}
+}
+
+func TestParseTraceEventRejectsNonLaminar(t *testing.T) {
+	bad := `{"traceEvents":[
+		{"name":"a","cat":"iq","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+		{"name":"b","cat":"iq","ph":"X","ts":50,"dur":100,"pid":1,"tid":1}
+	]}`
+	if _, err := ParseTraceEvent([]byte(bad)); err == nil {
+		t.Fatalf("expected error for overlapping non-nested events on one tid")
+	}
+}
+
+func TestParseTraceEventRejectsMalformed(t *testing.T) {
+	if _, err := ParseTraceEvent([]byte(`{`)); err == nil {
+		t.Fatalf("expected error for invalid JSON")
+	}
+	if _, err := ParseTraceEvent([]byte(`{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`)); err == nil {
+		t.Fatalf("expected error for empty event name")
+	}
+	if _, err := ParseTraceEvent([]byte(`{"traceEvents":[{"name":"a","ph":"X","ts":-1,"dur":1,"pid":1,"tid":1}]}`)); err == nil {
+		t.Fatalf("expected error for negative ts")
+	}
+}
+
+func TestValidateTraceEvent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvent(&buf, fixedTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTraceEvent(buf.Bytes(), []string{"solve/mincost", "round", "probe"}, 3); err != nil {
+		t.Fatalf("ValidateTraceEvent: %v", err)
+	}
+	if _, err := ValidateTraceEvent(buf.Bytes(), []string{"no-such-span"}, 1); err == nil {
+		t.Fatalf("expected missing-span error")
+	}
+	if _, err := ValidateTraceEvent(buf.Bytes(), nil, 99); err == nil {
+		t.Fatalf("expected depth error")
+	}
+}

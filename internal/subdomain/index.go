@@ -16,6 +16,7 @@
 package subdomain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -24,6 +25,7 @@ import (
 
 	"iq/internal/bloom"
 	"iq/internal/geom"
+	"iq/internal/obs"
 	"iq/internal/rtree"
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -98,7 +100,15 @@ type Index struct {
 
 // Build constructs the index over the workload per Algorithm 1.
 func Build(w *topk.Workload, opts Options) (*Index, error) {
+	return BuildCtx(context.Background(), w, opts)
+}
+
+// BuildCtx is Build with tracing: when ctx carries a trace, construction
+// records an "index/build" span stamped with the resulting shape.
+func BuildCtx(ctx context.Context, w *topk.Workload, opts Options) (*Index, error) {
 	start := time.Now()
+	_, sp := obs.StartSpan(ctx, "index/build")
+	defer sp.End()
 	opts = opts.withDefaults()
 	if w.Space().QueryDim() < 1 {
 		return nil, errors.New("subdomain: query space has dimension 0")
@@ -135,6 +145,9 @@ func Build(w *topk.Workload, opts Options) (*Index, error) {
 	mBuilds.Inc()
 	mBuildSeconds.Observe(time.Since(start).Seconds())
 	idx.publishShape()
+	sp.SetAttr("queries", w.NumQueries())
+	sp.SetAttr("subdomains", len(idx.subs))
+	sp.SetAttr("candidates", len(idx.candidates))
 	return idx, nil
 }
 
@@ -483,7 +496,16 @@ func (x *Index) Epoch() uint64 { return x.epoch }
 // writers clone, mutate the clone, and publish it, while in-flight readers
 // keep their immutable epoch.
 func (x *Index) Clone(w *topk.Workload) *Index {
+	return x.CloneCtx(context.Background(), w)
+}
+
+// CloneCtx is Clone with tracing: when ctx carries a trace, the copy records
+// an "index/clone" span (the write path's fixed cost under the epoch
+// snapshot scheme).
+func (x *Index) CloneCtx(ctx context.Context, w *topk.Workload) *Index {
 	start := time.Now()
+	_, sp := obs.StartSpan(ctx, "index/clone")
+	defer sp.End()
 	c := &Index{
 		w:                      w,
 		opts:                   x.opts,

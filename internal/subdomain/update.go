@@ -1,14 +1,20 @@
 package subdomain
 
 import (
+	"context"
 	"fmt"
 
 	"iq/internal/geom"
+	"iq/internal/obs"
 	"iq/internal/topk"
 	"iq/internal/vec"
 )
 
-// This file implements the data-updating operations of Section 4.3.
+// This file implements the data-updating operations of Section 4.3. Every
+// operation has a Ctx variant recording an "index/<op>" span (with
+// "index/repartition" children where re-grouping runs) when the context
+// carries a trace; the plain variants delegate with context.Background() so
+// existing call sites keep working untraced.
 
 // AddQuery inserts a new top-k query into the workload and the index. Per
 // the paper's heuristic, the subdomains of the query point's nearest
@@ -16,6 +22,13 @@ import (
 // and the ranking signature); only if none matches is a new subdomain
 // created.
 func (x *Index) AddQuery(q topk.Query) (int, error) {
+	return x.AddQueryCtx(context.Background(), q)
+}
+
+// AddQueryCtx is AddQuery with tracing.
+func (x *Index) AddQueryCtx(ctx context.Context, q topk.Query) (int, error) {
+	_, sp := obs.StartSpan(ctx, "index/add_query")
+	defer sp.End()
 	j, err := x.w.AddQuery(q)
 	if err != nil {
 		return 0, err
@@ -73,6 +86,13 @@ func (x *Index) matchesBoundaries(s *Subdomain, point vec.Vector) bool {
 // but the index stops considering it; callers normally use fresh indices per
 // workload epoch). It returns an error when the query is unknown.
 func (x *Index) RemoveQuery(j int) error {
+	return x.RemoveQueryCtx(context.Background(), j)
+}
+
+// RemoveQueryCtx is RemoveQuery with tracing.
+func (x *Index) RemoveQueryCtx(ctx context.Context, j int) error {
+	_, sp := obs.StartSpan(ctx, "index/remove_query")
+	defer sp.End()
 	if j < 0 || j >= len(x.queryToSub) || x.queryToSub[j] < 0 {
 		return fmt.Errorf("subdomain: query %d not indexed", j)
 	}
@@ -124,6 +144,13 @@ func (x *Index) dropBoundaryLinks(s *Subdomain) {
 // intersections (new object × existing candidates) re-partition the affected
 // subdomains, exactly as Section 4.3 describes.
 func (x *Index) AddObject(attrs vec.Vector) (int, error) {
+	return x.AddObjectCtx(context.Background(), attrs)
+}
+
+// AddObjectCtx is AddObject with tracing.
+func (x *Index) AddObjectCtx(ctx context.Context, attrs vec.Vector) (int, error) {
+	ctx, sp := obs.StartSpan(ctx, "index/add_object")
+	defer sp.End()
 	id, err := x.w.AddObject(attrs)
 	if err != nil {
 		return 0, err
@@ -156,7 +183,7 @@ func (x *Index) AddObject(attrs vec.Vector) (int, error) {
 			pairs = append(pairs, [2]int{c, id})
 		}
 	}
-	x.repartition(x.allIndexedQueries(), pairs)
+	x.repartition(ctx, x.allIndexedQueries(), pairs)
 	return id, nil
 }
 
@@ -165,6 +192,13 @@ func (x *Index) AddObject(attrs vec.Vector) (int, error) {
 // intersections can affect. Committing an improvement strategy to the
 // dataset goes through here.
 func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
+	return x.UpdateObjectCtx(context.Background(), id, attrs)
+}
+
+// UpdateObjectCtx is UpdateObject with tracing.
+func (x *Index) UpdateObjectCtx(ctx context.Context, id int, attrs vec.Vector) error {
+	ctx, sp := obs.StartSpan(ctx, "index/update_object")
+	defer sp.End()
 	if id < 0 || id >= x.w.NumObjects() || x.w.IsRemoved(id) {
 		return fmt.Errorf("subdomain: object %d not updatable", id)
 	}
@@ -210,7 +244,7 @@ func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
 		}
 	}
 	if len(queries) > 0 {
-		x.repartition(queries, nil)
+		x.repartition(ctx, queries, nil)
 	}
 	// The object's new intersections (and any promotions) partition like a
 	// fresh object insertion.
@@ -228,7 +262,7 @@ func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
 				}
 			}
 		}
-		x.repartition(x.allIndexedQueries(), pairs)
+		x.repartition(ctx, x.allIndexedQueries(), pairs)
 	}
 	return nil
 }
@@ -238,6 +272,13 @@ func (x *Index) UpdateObject(id int, attrs vec.Vector) error {
 // boundary index, per Section 4.3 — are merged by re-grouping their queries
 // under the updated candidate set.
 func (x *Index) RemoveObject(id int) error {
+	return x.RemoveObjectCtx(context.Background(), id)
+}
+
+// RemoveObjectCtx is RemoveObject with tracing.
+func (x *Index) RemoveObjectCtx(ctx context.Context, id int) error {
+	ctx, sp := obs.StartSpan(ctx, "index/remove_object")
+	defer sp.End()
 	if id < 0 || id >= x.w.NumObjects() {
 		return fmt.Errorf("subdomain: object %d out of range", id)
 	}
@@ -305,7 +346,7 @@ func (x *Index) RemoveObject(id int) error {
 		x.dropBoundaryLinks(s)
 	}
 	if len(queries) > 0 {
-		x.repartition(queries, nil)
+		x.repartition(ctx, queries, nil)
 	}
 	// Promoted candidates behave like newly added objects: split all
 	// subdomains on their intersections with the other candidates.
@@ -318,7 +359,7 @@ func (x *Index) RemoveObject(id int) error {
 				}
 			}
 		}
-		x.repartition(x.allIndexedQueries(), pairs)
+		x.repartition(ctx, x.allIndexedQueries(), pairs)
 	}
 	return nil
 }
@@ -336,7 +377,11 @@ func (x *Index) allIndexedQueries() []int {
 
 // repartition removes the given queries from their subdomains and re-runs
 // the partitioning over them (restricted to pairs when non-nil).
-func (x *Index) repartition(queries []int, pairs [][2]int) {
+func (x *Index) repartition(ctx context.Context, queries []int, pairs [][2]int) {
+	_, sp := obs.StartSpan(ctx, "index/repartition")
+	sp.SetAttr("queries", len(queries))
+	sp.SetAttr("pairs", len(pairs))
+	defer sp.End()
 	mRepartitions.Inc()
 	for _, j := range queries {
 		subID := x.queryToSub[j]

@@ -35,6 +35,7 @@ package iq
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -110,6 +111,55 @@ type SolveStats = core.SolveStats
 // latency-critical path.
 func SetMetricsEnabled(enabled bool) bool { return obs.SetEnabled(enabled) }
 
+// Trace is a bounded buffer of hierarchical spans recorded during one solve
+// (or any other traced operation). Attach one to a context with WithTrace
+// and pass that context into the Ctx solver variants; every engine stage —
+// greedy rounds, candidate probes, ESE builds and rebuilds, index
+// repartitions — records a span into it. Export the result with
+// WriteTraceEvent (Perfetto / chrome://tracing) or WriteTree (human-readable).
+type Trace = obs.Trace
+
+// Span is one timed, attributed node of a Trace. Advanced callers can record
+// their own spans around engine calls with StartSpan.
+type Span = obs.Span
+
+// DefaultMaxSpans is the span-buffer bound NewTrace applies when maxSpans
+// is zero.
+const DefaultMaxSpans = obs.DefaultMaxSpans
+
+// SetTracingEnabled toggles span recording globally and returns the previous
+// setting. With tracing disabled (or on a context without a Trace) the
+// per-stage instrumentation reduces to a single atomic load — solves run at
+// full speed. Tracing is enabled by default; spans are only recorded into
+// contexts that carry a Trace, so the default costs nothing for untraced
+// calls.
+func SetTracingEnabled(enabled bool) bool { return obs.SetTracingEnabled(enabled) }
+
+// NewTrace allocates an empty trace. maxSpans bounds the buffer (0 means
+// DefaultMaxSpans); once full, further spans are counted as dropped rather
+// than recorded, so a runaway solve cannot hold unbounded memory.
+func NewTrace(name string, maxSpans int) *Trace { return obs.NewTrace(name, maxSpans) }
+
+// WithTrace returns a context that records engine spans into t.
+func WithTrace(ctx context.Context, t *Trace) context.Context { return obs.WithTrace(ctx, t) }
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace { return obs.TraceFrom(ctx) }
+
+// StartSpan opens a span on ctx's trace (nil-safe: without a trace, or with
+// tracing disabled, it returns the context unchanged and a nil span whose
+// methods are no-ops). Close it with End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// WriteTraceEvent serialises a trace in Chrome trace_event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteTraceEvent(w io.Writer, t *Trace) error { return obs.WriteTraceEvent(w, t) }
+
+// WriteTree renders a trace as an indented human-readable span tree.
+func WriteTree(w io.Writer, t *Trace) error { return obs.WriteTree(w, t) }
+
 // TargetSpec pairs a target with its cost function for multi-target IQs.
 type TargetSpec = core.TargetSpec
 
@@ -177,11 +227,17 @@ func newSystem(w *topk.Workload, idx *subdomain.Index) *System {
 // is discarded and the visible state is unchanged — failed writes are
 // all-or-nothing.
 func (s *System) mutate(fn func(st *state) error) error {
+	return s.mutateCtx(context.Background(), fn)
+}
+
+// mutateCtx is mutate under a context so write operations record their
+// clone/update spans into the caller's trace.
+func (s *System) mutateCtx(ctx context.Context, fn func(st *state) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
 	w := old.w.Clone()
-	next := &state{w: w, idx: old.idx.Clone(w), epoch: old.epoch + 1}
+	next := &state{w: w, idx: old.idx.CloneCtx(ctx, w), epoch: old.epoch + 1}
 	if err := fn(next); err != nil {
 		return err
 	}
@@ -200,11 +256,18 @@ func New(space Space, objects []Vector, queries []Query) (*System, error) {
 
 // NewWithOptions builds a System with explicit index options.
 func NewWithOptions(space Space, objects []Vector, queries []Query, opts IndexOptions) (*System, error) {
+	return NewWithOptionsCtx(context.Background(), space, objects, queries, opts)
+}
+
+// NewWithOptionsCtx is NewWithOptions under a context: when the context
+// carries a Trace, subdomain-index construction records an "index/build"
+// span into it, so tools can profile startup alongside solves.
+func NewWithOptionsCtx(ctx context.Context, space Space, objects []Vector, queries []Query, opts IndexOptions) (*System, error) {
 	w, err := topk.NewWorkload(space, objects, queries)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := buildIndex(w, opts)
+	idx, err := subdomain.BuildCtx(ctx, w, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +363,13 @@ func (s *System) MaxHitExhaustiveCtx(ctx context.Context, req MaxHitRequest) (*R
 
 // Hits returns H(p), the number of queries object target currently hits.
 func (s *System) Hits(target int) (int, error) {
-	ev, err := ese.New(s.view().idx, target)
+	return s.HitsCtx(context.Background(), target)
+}
+
+// HitsCtx is Hits under a context; the evaluator build records a span when
+// the context carries a trace.
+func (s *System) HitsCtx(ctx context.Context, target int) (int, error) {
+	ev, err := ese.NewCtx(ctx, s.view().idx, target)
 	if err != nil {
 		return 0, err
 	}
@@ -340,7 +409,7 @@ func (s *System) EvaluateStrategyCtx(ctx context.Context, target int, strategy V
 	if err := core.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	ev, err := ese.New(st.idx, target)
+	ev, err := ese.NewCtx(ctx, st.idx, target)
 	if err != nil {
 		return 0, err
 	}
@@ -366,26 +435,38 @@ func checkStrategy(w *topk.Workload, target int, strategy Vector) error {
 // Commit permanently applies a strategy to a target, publishing a new
 // epoch with the updated dataset and index.
 func (s *System) Commit(target int, strategy Vector) error {
-	return s.mutate(func(st *state) error {
+	return s.CommitCtx(context.Background(), target, strategy)
+}
+
+// CommitCtx is Commit under a context; the index clone and repartition work
+// record spans when the context carries a trace.
+func (s *System) CommitCtx(ctx context.Context, target int, strategy Vector) error {
+	return s.mutateCtx(ctx, func(st *state) error {
 		if err := checkStrategy(st.w, target, strategy); err != nil {
 			return err
 		}
-		return st.idx.UpdateObject(target, vec.Add(st.w.Attrs(target), strategy))
+		return st.idx.UpdateObjectCtx(ctx, target, vec.Add(st.w.Attrs(target), strategy))
 	})
 }
 
 // CommitAndCount applies a strategy and returns the target's hit count in
 // the newly published epoch, atomically with respect to other writers.
 func (s *System) CommitAndCount(target int, strategy Vector) (int, error) {
+	return s.CommitAndCountCtx(context.Background(), target, strategy)
+}
+
+// CommitAndCountCtx is CommitAndCount under a context; tracing semantics
+// match CommitCtx.
+func (s *System) CommitAndCountCtx(ctx context.Context, target int, strategy Vector) (int, error) {
 	hits := 0
-	err := s.mutate(func(st *state) error {
+	err := s.mutateCtx(ctx, func(st *state) error {
 		if err := checkStrategy(st.w, target, strategy); err != nil {
 			return err
 		}
-		if err := st.idx.UpdateObject(target, vec.Add(st.w.Attrs(target), strategy)); err != nil {
+		if err := st.idx.UpdateObjectCtx(ctx, target, vec.Add(st.w.Attrs(target), strategy)); err != nil {
 			return err
 		}
-		ev, err := ese.New(st.idx, target)
+		ev, err := ese.NewCtx(ctx, st.idx, target)
 		if err != nil {
 			return err
 		}
@@ -397,10 +478,16 @@ func (s *System) CommitAndCount(target int, strategy Vector) (int, error) {
 
 // AddObject inserts a new object and returns its index.
 func (s *System) AddObject(attrs Vector) (int, error) {
+	return s.AddObjectCtx(context.Background(), attrs)
+}
+
+// AddObjectCtx is AddObject under a context; tracing semantics match
+// CommitCtx.
+func (s *System) AddObjectCtx(ctx context.Context, attrs Vector) (int, error) {
 	id := 0
-	err := s.mutate(func(st *state) error {
+	err := s.mutateCtx(ctx, func(st *state) error {
 		var err error
-		id, err = st.idx.AddObject(attrs)
+		id, err = st.idx.AddObjectCtx(ctx, attrs)
 		return err
 	})
 	return id, err
@@ -408,15 +495,27 @@ func (s *System) AddObject(attrs Vector) (int, error) {
 
 // RemoveObject tombstones an object.
 func (s *System) RemoveObject(id int) error {
-	return s.mutate(func(st *state) error { return st.idx.RemoveObject(id) })
+	return s.RemoveObjectCtx(context.Background(), id)
+}
+
+// RemoveObjectCtx is RemoveObject under a context; tracing semantics match
+// CommitCtx.
+func (s *System) RemoveObjectCtx(ctx context.Context, id int) error {
+	return s.mutateCtx(ctx, func(st *state) error { return st.idx.RemoveObjectCtx(ctx, id) })
 }
 
 // AddQuery inserts a new top-k query and returns its index.
 func (s *System) AddQuery(q Query) (int, error) {
+	return s.AddQueryCtx(context.Background(), q)
+}
+
+// AddQueryCtx is AddQuery under a context; tracing semantics match
+// CommitCtx.
+func (s *System) AddQueryCtx(ctx context.Context, q Query) (int, error) {
 	j := 0
-	err := s.mutate(func(st *state) error {
+	err := s.mutateCtx(ctx, func(st *state) error {
 		var err error
-		j, err = st.idx.AddQuery(q)
+		j, err = st.idx.AddQueryCtx(ctx, q)
 		return err
 	})
 	return j, err
@@ -424,7 +523,13 @@ func (s *System) AddQuery(q Query) (int, error) {
 
 // RemoveQuery removes a query from the workload index.
 func (s *System) RemoveQuery(j int) error {
-	return s.mutate(func(st *state) error { return st.idx.RemoveQuery(j) })
+	return s.RemoveQueryCtx(context.Background(), j)
+}
+
+// RemoveQueryCtx is RemoveQuery under a context; tracing semantics match
+// CommitCtx.
+func (s *System) RemoveQueryCtx(ctx context.Context, j int) error {
+	return s.mutateCtx(ctx, func(st *state) error { return st.idx.RemoveQueryCtx(ctx, j) })
 }
 
 // NumObjects returns the dataset size (including tombstoned objects).

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Live tracing smoke test: boot a real iqserver, drive a traced solve through
+# it with iqtool's -trace-server mode, and fail unless the flight recorder
+# lists the capture and the downloaded trace_event JSON is valid (parseable,
+# laminar, solve → round → probe nesting of depth ≥ 3). Unit tests cover the
+# exporter and the recorder in isolation; only a live process proves the
+# capture path — header opt-in, context propagation into the engine,
+# /debug/traces download — works end to end.
+set -eu
+
+ADDR=127.0.0.1:19277
+BIN=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/iqserver" ./cmd/iqserver
+go build -o "$BIN/iqtool" ./cmd/iqtool
+
+"$BIN/iqserver" -addr "$ADDR" -log-level warn &
+SERVER_PID=$!
+
+# iqtool retries the initial load until the server is up (bounded by
+# -scrape-timeout), so no sleep-and-hope is needed here.
+"$BIN/iqtool" -trace-server "http://$ADDR" -trace "$BIN/server.trace.json" -scrape-timeout 15s
