@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench metricscheck tracecheck
+.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
@@ -9,7 +9,7 @@ GO ?= go
 # live server to prove the exposition parses end to end. Every test run
 # carries an explicit -timeout so a hung solve fails fast with a goroutine
 # dump instead of stalling CI at the per-package default.
-check: build vet race stress metricscheck tracecheck
+check: build vet race stress metricscheck tracecheck benchcheck
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ metricscheck:
 # solve → round → probe deep.
 tracecheck:
 	./scripts/tracecheck.sh
+
+# benchcheck runs iqbench's reduced-scale cache A/B and fails on an
+# allocation regression: a warm-cache solve must allocate strictly less
+# than an uncached one. Latency is printed but not gated (too noisy on
+# shared CI hardware). The full-scale report is BENCH_PR5.json.
+benchcheck:
+	./scripts/benchcheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -18,3 +18,6 @@ go test -race -run TestStress -count=2 -timeout 10m ./...
 # Live tracing gate: boot a real iqserver, capture a traced solve through
 # the flight recorder, and validate the downloaded trace_event JSON.
 ./scripts/tracecheck.sh
+# Solve-cache benchmark gate: reduced-scale cached-vs-uncached A/B of both
+# solvers; fails if the warm-cache path stops saving allocations.
+./scripts/benchcheck.sh

@@ -26,15 +26,17 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
-		full  = flag.Bool("full", false, "run at the paper's Table 2 scale (hours)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		quiet = flag.Bool("quiet", false, "suppress progress output")
-		sizes = flag.String("sizes", "", "override the object-count sweep, e.g. 1000,2000,4000")
-		iqs   = flag.Int("iqs", 0, "override IQs per test point")
-		jsonO = flag.String("json", "", "write the observability benchmark report (solver ns/op, allocs/op, metrics overhead, stage breakdown) to this path and exit")
-		traceO = flag.String("trace-json", "", "write the tracing-overhead report (solver ns/op with tracing off / enabled-idle / capturing) to this path and exit")
+		exp        = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		full       = flag.Bool("full", false, "run at the paper's Table 2 scale (hours)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		sizes      = flag.String("sizes", "", "override the object-count sweep, e.g. 1000,2000,4000")
+		iqs        = flag.Int("iqs", 0, "override IQs per test point")
+		jsonO      = flag.String("json", "", "write the observability benchmark report (solver ns/op, allocs/op, metrics overhead, stage breakdown) to this path and exit")
+		traceO     = flag.String("trace-json", "", "write the tracing-overhead report (solver ns/op with tracing off / enabled-idle / capturing) to this path and exit")
+		cacheO     = flag.String("cache-json", "", "write the solve-cache benchmark report (warm-cache vs uncached ns/op, allocs/op, batch throughput) to this path and exit")
+		cacheCheck = flag.Bool("cache-check", false, "run the reduced-scale solve-cache A/B and exit non-zero on an allocation regression (the scripts/benchcheck.sh gate)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,20 @@ func main() {
 	if *traceO != "" {
 		if err := runTraceBench(*traceO, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "iqbench: -trace-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cacheO != "" {
+		if err := runCacheBench(*cacheO, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -cache-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cacheCheck {
+		if err := runCacheCheck(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -cache-check: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -22,6 +22,7 @@ type appConfig struct {
 	drainTimeout   time.Duration
 	maxInflight    int
 	maxBodyBytes   int64
+	maxBatchItems  int
 	logFormat      string
 	logLevel       string
 	pprof          bool
@@ -60,6 +61,7 @@ func newHTTPServer(cfg appConfig, logger *slog.Logger) *http.Server {
 		requestTimeout: cfg.requestTimeout,
 		maxInflight:    cfg.maxInflight,
 		maxBodyBytes:   cfg.maxBodyBytes,
+		maxBatchItems:  cfg.maxBatchItems,
 		enablePprof:    cfg.pprof,
 		debugTraces:    cfg.debugTraces,
 		traceAll:       cfg.traceAll,
@@ -116,6 +118,8 @@ func main() {
 		"max concurrently admitted solver requests; excess get 429 (0 = unlimited)")
 	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", defaults.maxBodyBytes,
 		"max request body size in bytes; larger bodies get 413 (0 = unlimited)")
+	flag.IntVar(&cfg.maxBatchItems, "max-batch", defaults.maxBatchItems,
+		"max solve items per /v1/solve/batch request; larger batches get 400 (0 = unlimited)")
 	flag.StringVar(&cfg.logFormat, "log-format", "json", "log output format: json or text")
 	flag.StringVar(&cfg.logLevel, "log-level", "info",
 		"minimum log level: debug, info, warn, or error (debug includes per-solve engine lines)")

@@ -10,6 +10,7 @@
 //	GET  /v1/stats                                     -> index statistics
 //	POST /v1/mincost     {target, tau, cost?, frozen?, workers?, timeout_ms?}
 //	POST /v1/maxhit      {target, budget, cost?, frozen?, workers?, timeout_ms?}
+//	POST /v1/solve/batch {items: [{op, target, tau|budget, ...}], timeout_ms?}
 //	POST /v1/evaluate    {target, strategy}            -> {hits}
 //	POST /v1/commit      {target, strategy}            -> {hits}
 //	POST /v1/objects     {attrs}                       -> {id}
@@ -70,6 +71,11 @@ type serverConfig struct {
 	// maxBodyBytes caps request body size; larger bodies answer 413.
 	// 0 = unlimited.
 	maxBodyBytes int64
+	// maxBatchItems caps the number of solves in one /v1/solve/batch
+	// request; larger batches answer 400. A batch occupies one admission
+	// slot however many items it carries, so the cap bounds how much work a
+	// single slot can represent. 0 = unlimited.
+	maxBatchItems int
 	// enablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: the profiling endpoints leak heap contents and must be
 	// opted into on trusted networks only.
@@ -93,6 +99,7 @@ func defaultConfig() serverConfig {
 		requestTimeout: 30 * time.Second,
 		maxInflight:    16,
 		maxBodyBytes:   8 << 20, // 8 MiB: a /v1/load of ~100k 3-d objects
+		maxBatchItems:  64,
 		debugTraces:    true,
 	}
 }
@@ -147,6 +154,7 @@ func (s *server) handler() http.Handler {
 	s.route(mux, "GET /v1/stats", http.HandlerFunc(s.handleStats))
 	s.route(mux, "POST /v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
 	s.route(mux, "POST /v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
+	s.route(mux, "POST /v1/solve/batch", s.admit(http.HandlerFunc(s.handleSolveBatch)))
 	s.route(mux, "POST /v1/evaluate", http.HandlerFunc(s.handleEvaluate))
 	s.route(mux, "POST /v1/commit", http.HandlerFunc(s.handleCommit))
 	s.route(mux, "POST /v1/objects", http.HandlerFunc(s.handleAddObject))
@@ -394,6 +402,42 @@ type iqResponse struct {
 	BaseHits   int           `json:"base_hits"`
 	Iterations int           `json:"iterations"`
 	Stats      iq.SolveStats `json:"stats"`
+}
+
+// batchItemWire is one solve of a /v1/solve/batch request. Op selects the
+// solver ("mincost" uses Tau, "maxhit" uses Budget); the remaining fields
+// match the single-solve endpoints. TimeoutMS is intentionally absent — the
+// batch shares one deadline, set by batchRequest.TimeoutMS.
+type batchItemWire struct {
+	Op      string    `json:"op"`
+	Target  int       `json:"target"`
+	Tau     int       `json:"tau,omitempty"`
+	Budget  float64   `json:"budget,omitempty"`
+	Cost    *costWire `json:"cost,omitempty"`
+	Frozen  []int     `json:"frozen,omitempty"`
+	Workers int       `json:"workers,omitempty"`
+}
+
+type batchRequest struct {
+	Items []batchItemWire `json:"items"`
+	// TimeoutMS tightens the server's request timeout for the whole batch.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// batchItemResponse is one item's outcome; exactly one of Error or the
+// result fields is meaningful. Per-item failures do not fail the batch.
+type batchItemResponse struct {
+	Error      string        `json:"error,omitempty"`
+	Strategy   iq.Vector     `json:"strategy,omitempty"`
+	Cost       float64       `json:"cost,omitempty"`
+	Hits       int           `json:"hits,omitempty"`
+	BaseHits   int           `json:"base_hits,omitempty"`
+	Iterations int           `json:"iterations,omitempty"`
+	Stats      iq.SolveStats `json:"stats"`
+}
+
+type batchResponse struct {
+	Results []batchItemResponse `json:"results"`
 }
 
 type strategyRequest struct {
@@ -668,6 +712,77 @@ func (s *server) handleMaxHit(w http.ResponseWriter, r *http.Request) {
 			Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
 			BaseHits: res.BaseHits, Iterations: res.Iterations, Stats: res.Stats,
 		})
+	})
+}
+
+// handleSolveBatch answers N independent solves against one epoch snapshot
+// in a single request. The batch passes through the same admission semaphore
+// as the single-solve endpoints and occupies exactly one slot; items run
+// sequentially inside it, sharing the warm threshold/evaluator caches, which
+// is what makes a batch cheaper than N separate requests. Item failures are
+// reported per item; only malformed requests fail the batch as a whole.
+func (s *server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if s.cfg.maxBatchItems > 0 && len(req.Items) > s.cfg.maxBatchItems {
+		s.writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d items; limit is %d", len(req.Items), s.cfg.maxBatchItems))
+		return
+	}
+	s.withSystem(w, func(sys *iq.System) {
+		items := make([]iq.BatchItem, len(req.Items))
+		resp := batchResponse{Results: make([]batchItemResponse, len(req.Items))}
+		// Build every item up front so a malformed item is a 400 before any
+		// solving starts, not a partial batch.
+		for i, it := range req.Items {
+			cost, err := s.buildCost(sys, it.Cost)
+			if err != nil {
+				s.writeErr(w, http.StatusBadRequest, fmt.Errorf("item %d: %w", i, err))
+				return
+			}
+			bounds, err := s.buildBounds(sys, it.Frozen)
+			if err != nil {
+				s.writeErr(w, http.StatusBadRequest, fmt.Errorf("item %d: %w", i, err))
+				return
+			}
+			switch it.Op {
+			case "mincost":
+				items[i].MinCost = &iq.MinCostRequest{
+					Target: it.Target, Tau: it.Tau, Cost: cost, Bounds: bounds, Workers: it.Workers,
+				}
+			case "maxhit":
+				items[i].MaxHit = &iq.MaxHitRequest{
+					Target: it.Target, Budget: it.Budget, Cost: cost, Bounds: bounds, Workers: it.Workers,
+				}
+			default:
+				s.writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("item %d: op must be \"mincost\" or \"maxhit\", got %q", i, it.Op))
+				return
+			}
+		}
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		obs.Default.Counter("iq_http_batch_items_total",
+			"Solve items received via /v1/solve/batch.").Add(int64(len(items)))
+		for i, br := range sys.SolveBatchCtx(ctx, items) {
+			if br.Err != nil {
+				resp.Results[i] = batchItemResponse{Error: br.Err.Error()}
+				continue
+			}
+			res := br.Result
+			s.warnIfSlow(ctx, req.Items[i].Op, res.Stats)
+			resp.Results[i] = batchItemResponse{
+				Strategy: res.Strategy, Cost: res.Cost, Hits: res.Hits,
+				BaseHits: res.BaseHits, Iterations: res.Iterations, Stats: res.Stats,
+			}
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 	})
 }
 

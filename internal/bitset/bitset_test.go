@@ -1,0 +1,113 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bits: len=%d count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Fatalf("clear(64) failed: get=%v count=%d", b.Get(64), b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("reset left %d bits", b.Count())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	b := New(10)
+	if b.Get(-1) || b.Get(10) || b.Get(1<<20) {
+		t.Fatal("out-of-range Get must read false")
+	}
+	for _, fn := range []func(){func() { b.Set(10) }, func() { b.Clear(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range mutation must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGrowPreserves(t *testing.T) {
+	b := New(5)
+	b.Set(1)
+	b.Set(4)
+	b.Grow(200)
+	if b.Len() != 200 {
+		t.Fatalf("len = %d, want 200", b.Len())
+	}
+	if !b.Get(1) || !b.Get(4) || b.Get(100) {
+		t.Fatal("grow lost or invented bits")
+	}
+	b.Set(199)
+	if !b.Get(199) {
+		t.Fatal("bit beyond old capacity not settable")
+	}
+	b.Grow(50) // shrink is a no-op
+	if b.Len() != 200 || !b.Get(199) {
+		t.Fatal("shrinking Grow must be a no-op")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New(100)
+	src.Set(3)
+	src.Set(99)
+	dst := New(10)
+	dst.Set(5)
+	dst.CopyFrom(src)
+	if dst.Len() != 100 || !dst.Get(3) || !dst.Get(99) || dst.Get(5) {
+		t.Fatal("CopyFrom is not an exact copy")
+	}
+	// Copy into a larger destination must clear the tail words.
+	big := New(300)
+	big.Set(250)
+	big.CopyFrom(src)
+	if big.Get(250) || big.Count() != 2 {
+		t.Fatalf("CopyFrom into larger dst left stale bits (count=%d)", big.Count())
+	}
+}
+
+// Model check against map semantics under a random op stream.
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 257
+	b := New(n)
+	m := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			m[i] = true
+		case 1:
+			b.Clear(i)
+			delete(m, i)
+		default:
+			if b.Get(i) != m[i] {
+				t.Fatalf("op %d: Get(%d) = %v, want %v", op, i, b.Get(i), m[i])
+			}
+		}
+	}
+	if b.Count() != len(m) {
+		t.Fatalf("count = %d, want %d", b.Count(), len(m))
+	}
+}

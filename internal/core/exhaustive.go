@@ -237,7 +237,7 @@ func constraintSystem(idx *subdomain.Index, target int) (normals []vec.Vector, r
 	rhs = make([]float64, m)
 	freebies = map[int]bool{}
 	for j := 0; j < m; j++ {
-		t, bounded := hitThreshold(idx, target, j)
+		t, bounded := cachedHitThreshold(idx, target, j, nil, nil)
 		if !bounded {
 			freebies[j] = true
 			continue

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"iq/internal/bitset"
 	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/vec"
@@ -74,22 +75,20 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 		return nil, err
 	}
 	w := idx.Workload()
-	pool, err := evaluatorPool(ctx, idx, req.Target, req.Workers)
+	pool, release, err := AcquireEvaluators(ctx, idx, req.Target, req.Workers)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	ev := pool[0]
 	d := len(w.Attrs(req.Target))
 	res := &Result{Strategy: vec.New(d), BaseHits: ev.BaseHits(), Hits: ev.BaseHits()}
 
 	cur := vec.New(d)
-	hit := map[int]bool{}
-	for j := 0; j < w.NumQueries(); j++ {
-		if ev.BaseHit(j) {
-			hit[j] = true
-		}
-	}
+	hit := bitset.New(w.NumQueries())
+	ev.BaseHitSet(hit)
 	curHits := ev.BaseHits()
+	rs := &roundScratch{}
 
 	for {
 		res.Iterations++
@@ -103,7 +102,7 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 		// loop would pile up until the solve returns.
 		rctx, rsp := obs.StartSpan(ctx, "round")
 		rsp.SetAttr("round", res.Iterations)
-		cands, err := generateCandidates(rctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
+		cands, err := generateCandidates(rctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rs, rec)
 		if err != nil {
 			rsp.End()
 			return nil, err
@@ -122,7 +121,7 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 				rsp.End()
 				return res, err
 			}
-			hit = ev.HitSet(coeff)
+			ev.HitSetBits(coeff, hit)
 			res.Strategy = vec.Clone(cur)
 			res.Cost = req.Cost.Of(cur)
 			res.Hits = curHits
@@ -153,7 +152,7 @@ func maxHitSolve(ctx context.Context, idx *subdomain.Index, req MaxHitRequest, r
 				rsp.End()
 				return res, err
 			}
-			hit = ev.HitSet(coeff)
+			ev.HitSetBits(coeff, hit)
 			res.Strategy = vec.Clone(cur)
 			res.Cost = req.Cost.Of(cur)
 			res.Hits = curHits

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"iq/internal/bitset"
 	"iq/internal/obs"
 	"iq/internal/subdomain"
 	"iq/internal/vec"
@@ -102,10 +103,11 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 	if req.Tau > w.NumQueries() {
 		return nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", req.Tau, w.NumQueries(), ErrGoalUnreachable)
 	}
-	pool, err := evaluatorPool(ctx, idx, req.Target, req.Workers)
+	pool, release, err := AcquireEvaluators(ctx, idx, req.Target, req.Workers)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	ev := pool[0]
 	d := len(w.Attrs(req.Target))
 	res := &Result{Strategy: vec.New(d), BaseHits: ev.BaseHits(), Hits: ev.BaseHits()}
@@ -114,13 +116,10 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 	}
 
 	cur := vec.New(d)
-	hit := map[int]bool{}
-	for j := 0; j < w.NumQueries(); j++ {
-		if ev.BaseHit(j) {
-			hit[j] = true
-		}
-	}
+	hit := bitset.New(w.NumQueries())
+	ev.BaseHitSet(hit)
 	curHits := ev.BaseHits()
+	rs := &roundScratch{}
 
 	for curHits < req.Tau {
 		res.Iterations++
@@ -131,7 +130,7 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 		// loop would pile up until the solve returns.
 		rctx, rsp := obs.StartSpan(ctx, "round")
 		rsp.SetAttr("round", res.Iterations)
-		cands, err := generateCandidates(rctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rec)
+		cands, err := generateCandidates(rctx, idx, pool, req.Target, cur, hit, req.Cost, req.Bounds, rs, rec)
 		if err != nil {
 			rsp.End()
 			return nil, err
@@ -167,7 +166,7 @@ func minCostSolve(ctx context.Context, idx *subdomain.Index, req MinCostRequest,
 			rsp.End()
 			return res, err
 		}
-		hit = ev.HitSet(coeff)
+		ev.HitSetBits(coeff, hit)
 		res.Strategy = vec.Clone(cur)
 		res.Cost = req.Cost.Of(cur)
 		res.Hits = curHits

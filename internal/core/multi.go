@@ -52,12 +52,14 @@ func (r *MultiResult) CostPerHit() float64 {
 
 // multiState carries the per-target search state.
 type multiState struct {
-	idx   *subdomain.Index
-	specs []TargetSpec
-	evs   []*ese.Evaluator
-	cur   []vec.Vector   // cumulative strategy per target
-	hits  []map[int]bool // per-target hit sets
-	union map[int]int    // query -> number of targets hitting it
+	idx      *subdomain.Index
+	specs    []TargetSpec
+	evs      []*ese.Evaluator
+	releases []func()       // returns each target's evaluator to the cache
+	cur      []vec.Vector   // cumulative strategy per target
+	hits     []map[int]bool // per-target hit sets
+	union    map[int]int    // query -> number of targets hitting it
+	sc       probeScratch   // candidate generation is serial: one scratch
 }
 
 func newMultiState(ctx context.Context, idx *subdomain.Index, specs []TargetSpec) (*multiState, error) {
@@ -68,17 +70,22 @@ func newMultiState(ctx context.Context, idx *subdomain.Index, specs []TargetSpec
 	st := &multiState{idx: idx, specs: specs, union: map[int]int{}}
 	for _, spec := range specs {
 		if err := validateCommon(idx, spec.Target, spec.Cost); err != nil {
+			st.release()
 			return nil, err
 		}
 		if seen[spec.Target] {
+			st.release()
 			return nil, fmt.Errorf("core: duplicate target %d", spec.Target)
 		}
 		seen[spec.Target] = true
-		ev, err := ese.NewCtx(ctx, idx, spec.Target)
+		pool, release, err := AcquireEvaluators(ctx, idx, spec.Target, 1)
 		if err != nil {
+			st.release()
 			return nil, err
 		}
+		ev := pool[0]
 		st.evs = append(st.evs, ev)
+		st.releases = append(st.releases, release)
 		d := len(idx.Workload().Attrs(spec.Target))
 		st.cur = append(st.cur, vec.New(d))
 		hs := map[int]bool{}
@@ -91,6 +98,14 @@ func newMultiState(ctx context.Context, idx *subdomain.Index, specs []TargetSpec
 		st.hits = append(st.hits, hs)
 	}
 	return st, nil
+}
+
+// release parks every target's evaluator back in the cross-solve cache.
+func (st *multiState) release() {
+	for _, r := range st.releases {
+		r()
+	}
+	st.releases = nil
 }
 
 func (st *multiState) unionSize() int { return len(st.union) }
@@ -166,7 +181,7 @@ func (st *multiState) generate(ctx context.Context, rec *recorder) ([]multiCandi
 			pctx, psp := obs.StartSpan(ctx, "probe")
 			psp.SetAttr("target", spec.Target)
 			psp.SetAttr("query", j)
-			u, err := solveHit(st.idx, spec.Target, st.cur[i], j, spec.Cost, spec.Bounds)
+			u, err := solveHit(st.idx, spec.Target, st.cur[i], j, spec.Cost, spec.Bounds, &st.sc, rec)
 			t1 := rec.solveDone(t0)
 			if err != nil || !spec.Bounds.Contains(u) {
 				rec.pruned.Add(1)
@@ -243,6 +258,7 @@ func combMinCostSolve(ctx context.Context, idx *subdomain.Index, specs []TargetS
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	w := idx.Workload()
 	if tau > w.NumQueries() {
 		return nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", tau, w.NumQueries(), ErrGoalUnreachable)
@@ -332,6 +348,7 @@ func combMaxHitSolve(ctx context.Context, idx *subdomain.Index, specs []TargetSp
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	w := idx.Workload()
 	res := &MultiResult{Strategies: map[int]vec.Vector{}}
 	for {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"iq/internal/bitset"
 	"iq/internal/ese"
 	"iq/internal/obs"
 	"iq/internal/subdomain"
@@ -43,23 +44,48 @@ func absF(x float64) float64 {
 	return x
 }
 
+// probeScratch is one worker's reusable buffers for the per-probe subproblem
+// (hitThreshold's filtered candidate list, solveHit's shifted coefficients
+// and bounds). A probeScratch is owned by one goroutine; callers without one
+// may pass nil and pay the original allocations.
+type probeScratch struct {
+	filtered []int
+	coeff    vec.Vector // coeff(target)+cur for the linear closed form
+	lo, hi   vec.Vector // shifted bounds backing stores
+	bounds   Bounds     // aliases lo/hi so no Bounds escapes per probe
+}
+
 // hitThreshold computes the score the improved target must beat at query j:
 // the k-th best score among the other live objects (restricted to the
 // candidate skyband, which contains every possible top-k member). It
 // returns ok=false when the query has no k-th competitor (fewer than k other
-// objects — any score hits).
-func hitThreshold(idx *subdomain.Index, target, j int) (float64, bool) {
+// objects — any score hits). sc (optional) supplies the reusable filtered
+// slice; when the target is not itself a candidate the skyband list is used
+// as-is, with no copy at all (EvaluateAmong treats it as read-only).
+func hitThreshold(idx *subdomain.Index, target, j int, sc *probeScratch) (float64, bool) {
 	w := idx.Workload()
 	q := w.Query(j)
 	// Evaluate among candidates excluding the target.
 	cands := idx.Candidates()
-	filtered := make([]int, 0, len(cands))
-	for _, c := range cands {
-		if c != target {
-			filtered = append(filtered, c)
+	eval := cands
+	if idx.IsCandidate(target) {
+		var filtered []int
+		if sc != nil {
+			filtered = sc.filtered[:0]
+		} else {
+			filtered = make([]int, 0, len(cands))
 		}
+		for _, c := range cands {
+			if c != target {
+				filtered = append(filtered, c)
+			}
+		}
+		if sc != nil {
+			sc.filtered = filtered
+		}
+		eval = filtered
 	}
-	res := w.EvaluateAmong(filtered, q)
+	res := w.EvaluateAmong(eval, q)
 	if len(res.Ordered) < q.K {
 		return 0, false
 	}
@@ -71,11 +97,11 @@ func hitThreshold(idx *subdomain.Index, target, j int) (float64, bool) {
 // cur is the currently accumulated strategy; the returned u extends it
 // (u = cur for queries already hit). The cost minimised is Cost(u), the
 // total cost of the final strategy, matching Definitions 2–3.
-func solveHit(idx *subdomain.Index, target int, cur vec.Vector, j int, cost Cost, bounds *Bounds) (vec.Vector, error) {
+func solveHit(idx *subdomain.Index, target int, cur vec.Vector, j int, cost Cost, bounds *Bounds, sc *probeScratch, rec *recorder) (vec.Vector, error) {
 	w := idx.Workload()
 	space := w.Space()
 	q := w.Query(j)
-	threshold, bounded := hitThreshold(idx, target, j)
+	threshold, bounded := cachedHitThreshold(idx, target, j, sc, rec)
 	if !bounded {
 		return vec.Clone(cur), nil // fewer than k competitors: already hit
 	}
@@ -85,19 +111,57 @@ func solveHit(idx *subdomain.Index, target int, cur vec.Vector, j int, cost Cost
 		// q·(p + cur + δ) < threshold  ⇔  q·δ ≤ rhs. With non-negative
 		// query weights the minimal L2 step only decreases attribute
 		// values, so previously gained hits are preserved.
-		coeffCur := vec.Add(w.Coeff(target), cur)
+		//
+		// Every arithmetic step below matches the scratch-free formulation
+		// (vec.Add/vec.Sub temporaries) term by term, so enabling scratch
+		// reuse cannot change a single bit of the result.
+		coeff := w.Coeff(target)
+		var coeffCur vec.Vector
+		if sc != nil {
+			coeffCur = growVec(sc.coeff, len(coeff))
+			sc.coeff = coeffCur
+			for i := range coeff {
+				coeffCur[i] = coeff[i] + cur[i]
+			}
+		} else {
+			coeffCur = vec.Add(coeff, cur)
+		}
 		rhs := threshold - vec.Dot(coeffCur, q.Point) - strictMargin(threshold)
 		var shifted *Bounds
 		if bounds != nil {
-			shifted = &Bounds{Lo: vec.Sub(bounds.Lo, cur), Hi: vec.Sub(bounds.Hi, cur)}
+			if sc != nil {
+				sc.lo = growVec(sc.lo, len(bounds.Lo))
+				sc.hi = growVec(sc.hi, len(bounds.Hi))
+				for i := range bounds.Lo {
+					sc.lo[i] = bounds.Lo[i] - cur[i]
+					sc.hi[i] = bounds.Hi[i] - cur[i]
+				}
+				sc.bounds = Bounds{Lo: sc.lo, Hi: sc.hi}
+				shifted = &sc.bounds
+			} else {
+				shifted = &Bounds{Lo: vec.Sub(bounds.Lo, cur), Hi: vec.Sub(bounds.Hi, cur)}
+			}
 		}
 		delta, err := cost.MinToHalfspace(q.Point, rhs, shifted)
 		if err != nil {
 			return nil, err
 		}
-		return vec.Add(cur, delta), nil
+		// Every MinToHalfspace implementation returns a fresh vector, so
+		// accumulating cur into it in place is safe, and float addition is
+		// commutative, so delta+cur is bit-identical to vec.Add(cur, delta).
+		vec.AddInPlace(delta, cur)
+		return delta, nil
 	}
 	return solveHitNonLinear(w, target, cur, q, threshold, cost, bounds)
+}
+
+// growVec returns v resized to d, reusing its backing array when possible.
+// Contents are unspecified — callers overwrite every element.
+func growVec(v vec.Vector, d int) vec.Vector {
+	if cap(v) < d {
+		return make(vec.Vector, d)
+	}
+	return v[:d]
 }
 
 // solveHitNonLinear iteratively linearises the embedding around the current
@@ -181,37 +245,73 @@ type Candidate struct {
 	Hits     int
 }
 
+// roundScratch carries the buffers one solve reuses across its greedy
+// rounds: the unhit worklist, the slot-indexed result arrays, the surviving
+// candidate slice handed back to the caller, and per-worker probe/embed
+// scratch. One roundScratch is owned by one solve; the candidate slice it
+// returns is only valid until the next generateCandidates call.
+type roundScratch struct {
+	unhit   []int
+	results []Candidate
+	valid   []bool
+	cands   []Candidate
+	probes  []probeScratch // indexed by worker
+	embed   []vec.Vector   // per-worker improved-coefficient buffers
+}
+
 // generateCandidates implements the shared inner loop of Algorithms 3 and 4
 // (lines 4–8): for every query not currently hit, the min-cost strategy that
 // hits it, evaluated with ESE. With more than one evaluator in the pool the
 // per-query work fans out across goroutines (each evaluator owns mutable
-// scratch state, so one goroutine per evaluator).
+// scratch state, so one goroutine per evaluator, and likewise one
+// probeScratch and embed buffer per worker).
+//
+// The returned slice aliases rs.cands and is overwritten by the next call;
+// the Strategy vectors inside it are freshly allocated per probe and safe to
+// retain. Bit-for-bit determinism is preserved: probes still land in
+// slot-indexed order and the scratch paths reproduce the original arithmetic
+// exactly.
 //
 // Cancellation is checked before every probe, serial or parallel: workers
 // stop picking up slots as soon as ctx fails, and a cancelled fan-out
 // returns a nil candidate slice with the translated context error, so the
 // solvers discard the round's partial work instead of greedily applying a
 // winner chosen from whatever subset happened to finish.
-func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit map[int]bool, cost Cost, bounds *Bounds, rec *recorder) ([]Candidate, error) {
+func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.Evaluator, target int, cur vec.Vector, hit *bitset.Bits, cost Cost, bounds *Bounds, rs *roundScratch, rec *recorder) ([]Candidate, error) {
 	w := idx.Workload()
-	var unhit []int
+	rs.unhit = rs.unhit[:0]
 	for j := 0; j < w.NumQueries(); j++ {
-		if !hit[j] && !w.IsQueryRemoved(j) {
-			unhit = append(unhit, j)
+		if !hit.Get(j) && !w.IsQueryRemoved(j) {
+			rs.unhit = append(rs.unhit, j)
 		}
 	}
+	unhit := rs.unhit
 	ctx, csp := obs.StartSpan(ctx, "candidates")
 	csp.SetAttr("unhit", len(unhit))
 	csp.SetAttr("workers", len(pool))
 	defer csp.End()
-	results := make([]*Candidate, len(unhit))
-	probe := func(pctx context.Context, ev *ese.Evaluator, slot int) {
+	if cap(rs.results) < len(unhit) {
+		rs.results = make([]Candidate, len(unhit))
+		rs.valid = make([]bool, len(unhit))
+	}
+	results := rs.results[:len(unhit)]
+	valid := rs.valid[:len(unhit)]
+	for i := range valid {
+		valid[i] = false
+	}
+	if len(rs.probes) < len(pool) {
+		rs.probes = make([]probeScratch, len(pool))
+		rs.embed = make([]vec.Vector, len(pool))
+	}
+	linear := w.Space().Linear()
+	attrs := w.Attrs(target)
+	probe := func(pctx context.Context, ev *ese.Evaluator, wkr, slot int) {
 		fireProbe(slot)
 		t0 := rec.probeStart()
 		j := unhit[slot]
 		pctx, psp := obs.StartSpan(pctx, "probe")
 		psp.SetAttr("query", j)
-		u, err := solveHit(idx, target, cur, j, cost, bounds)
+		u, err := solveHit(idx, target, cur, j, cost, bounds, &rs.probes[wkr], rec)
 		t1 := rec.solveDone(t0)
 		if err != nil {
 			rec.pruned.Add(1)
@@ -225,19 +325,33 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 			psp.End()
 			return
 		}
-		coeff, err := w.Space().Embed(vec.Add(w.Attrs(target), u))
-		if err != nil {
-			rec.pruned.Add(1)
-			psp.SetAttr("pruned", "embed")
-			psp.End()
-			return
+		var coeff vec.Vector
+		if linear {
+			// A linear space's Embed is the identity (a dimension check plus
+			// a clone), so the improved coefficients can be summed straight
+			// into the worker's buffer — same values, no temporaries.
+			buf := growVec(rs.embed[wkr], len(attrs))
+			rs.embed[wkr] = buf
+			for i := range attrs {
+				buf[i] = attrs[i] + u[i]
+			}
+			coeff = buf
+		} else {
+			coeff, err = w.Space().Embed(vec.Add(attrs, u))
+			if err != nil {
+				rec.pruned.Add(1)
+				psp.SetAttr("pruned", "embed")
+				psp.End()
+				return
+			}
 		}
 		_, esp := obs.StartSpan(pctx, "eval")
 		h := ev.HitsWithCoeff(coeff)
 		esp.SetAttr("hits", h)
 		esp.End()
 		rec.evalDone(t1)
-		results[slot] = &Candidate{Query: j, Strategy: u, Cost: cost.Of(u), Hits: h}
+		results[slot] = Candidate{Query: j, Strategy: u, Cost: cost.Of(u), Hits: h}
+		valid[slot] = true
 		psp.End()
 	}
 	if len(pool) <= 1 || len(unhit) < 2*len(pool) {
@@ -245,7 +359,7 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 			if ctx.Err() != nil {
 				break
 			}
-			probe(ctx, pool[0], slot)
+			probe(ctx, pool[0], 0, slot)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -260,7 +374,7 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 					if ctx.Err() != nil {
 						return
 					}
-					probe(wctx, pool[wkr], slot)
+					probe(wctx, pool[wkr], wkr, slot)
 				}
 			}(wkr)
 		}
@@ -269,13 +383,13 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 	if err := CtxErr(ctx); err != nil {
 		return nil, err
 	}
-	out := make([]Candidate, 0, len(unhit))
-	for _, c := range results {
-		if c != nil {
-			out = append(out, *c)
+	rs.cands = rs.cands[:0]
+	for slot, c := range results {
+		if valid[slot] {
+			rs.cands = append(rs.cands, c)
 		}
 	}
-	return out, nil
+	return rs.cands, nil
 }
 
 // clampWorkers bounds a request's Workers knob to sane values: anything

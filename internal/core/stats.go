@@ -39,6 +39,11 @@ type SolveStats struct {
 	SolveHitWall time.Duration `json:"solve_hit_wall_ns"`
 	// EvalWall accumulates time in ESE hit-count evaluations.
 	EvalWall time.Duration `json:"eval_wall_ns"`
+	// ThresholdCacheHits/ThresholdCacheMisses count hit-threshold lookups
+	// served from (resp. filled into) the cross-solve epoch-keyed cache.
+	// Both stay zero when the solve caches are disabled.
+	ThresholdCacheHits   int `json:"threshold_cache_hits"`
+	ThresholdCacheMisses int `json:"threshold_cache_misses"`
 	// CancelCause is "" for a completed solve, "canceled" or "deadline"
 	// when the context stopped it (the Result is nil then; the cause still
 	// reaches the metrics and, for multi-solves, the partial stats).
@@ -54,6 +59,23 @@ type recorder struct {
 	cands  atomic.Int64
 	solve  atomic.Int64 // ns in solveHit
 	eval   atomic.Int64 // ns in ESE evaluation
+	// Threshold-cache traffic attributable to this solve (the process-wide
+	// obs counters aggregate across solves).
+	thrHits   atomic.Int64
+	thrMisses atomic.Int64
+}
+
+// thresholdLookup records one cachedHitThreshold outcome. Nil-safe: callers
+// outside a solve (the exhaustive verifier) pass a nil recorder.
+func (r *recorder) thresholdLookup(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.thrHits.Add(1)
+	} else {
+		r.thrMisses.Add(1)
+	}
 }
 
 func newRecorder() *recorder { return &recorder{timed: obs.Enabled()} }
@@ -85,14 +107,16 @@ func (r *recorder) evalDone(t1 time.Time) {
 
 func (r *recorder) stats(rounds int, wall time.Duration, err error) SolveStats {
 	return SolveStats{
-		Rounds:       rounds,
-		Probes:       int(r.probes.Load()),
-		Pruned:       int(r.pruned.Load()),
-		Candidates:   int(r.cands.Load()),
-		Wall:         wall,
-		SolveHitWall: time.Duration(r.solve.Load()),
-		EvalWall:     time.Duration(r.eval.Load()),
-		CancelCause:  cancelCause(err),
+		Rounds:               rounds,
+		Probes:               int(r.probes.Load()),
+		Pruned:               int(r.pruned.Load()),
+		Candidates:           int(r.cands.Load()),
+		Wall:                 wall,
+		SolveHitWall:         time.Duration(r.solve.Load()),
+		EvalWall:             time.Duration(r.eval.Load()),
+		ThresholdCacheHits:   int(r.thrHits.Load()),
+		ThresholdCacheMisses: int(r.thrMisses.Load()),
+		CancelCause:          cancelCause(err),
 	}
 }
 

@@ -1,0 +1,57 @@
+package ese
+
+import (
+	"math/rand"
+	"testing"
+
+	"iq/internal/bitset"
+	"iq/internal/vec"
+)
+
+// The bitset variants feeding the solver hot path must agree exactly with
+// their map/bool counterparts, including across interleaved calls on one
+// evaluator (they share the delta scratch state).
+func TestBitsVariantsMatchMapVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	idx := buildFixture(t, rng, 80, 60, 3, 3)
+	w := idx.Workload()
+	for trial := 0; trial < 40; trial++ {
+		target := rng.Intn(w.NumObjects())
+		e, err := New(idx, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base bitset.Bits
+		e.BaseHitSet(&base)
+		if base.Count() != e.BaseHits() {
+			t.Fatalf("trial %d: BaseHitSet count %d, BaseHits %d", trial, base.Count(), e.BaseHits())
+		}
+		for j := 0; j < w.NumQueries(); j++ {
+			if base.Get(j) != e.BaseHit(j) {
+				t.Fatalf("trial %d: BaseHitSet[%d]=%v, BaseHit=%v", trial, j, base.Get(j), e.BaseHit(j))
+			}
+		}
+		// Interleave bitset and map evaluations of distinct strategies.
+		for rep := 0; rep < 3; rep++ {
+			s := make(vec.Vector, 3)
+			for i := range s {
+				s[i] = (rng.Float64()*2 - 1) * 0.4
+			}
+			coeff, err := w.Space().Embed(vec.Add(w.Attrs(target), s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bitset.Bits
+			e.HitSetBits(coeff, &got)
+			want := e.HitSet(coeff)
+			if got.Count() != len(want) {
+				t.Fatalf("trial %d rep %d: bitset %d hits, map %d", trial, rep, got.Count(), len(want))
+			}
+			for j := 0; j < w.NumQueries(); j++ {
+				if got.Get(j) != want[j] {
+					t.Fatalf("trial %d rep %d query %d: bitset %v, map %v", trial, rep, j, got.Get(j), want[j])
+				}
+			}
+		}
+	}
+}

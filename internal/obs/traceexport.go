@@ -243,12 +243,12 @@ type ParsedTrace struct {
 func ParseTraceEvent(data []byte) (*ParsedTrace, error) {
 	var file struct {
 		TraceEvents []struct {
-			Name string  `json:"name"`
-			Ph   string  `json:"ph"`
-			Ts   int64   `json:"ts"`
-			Dur  int64   `json:"dur"`
-			Pid  int64   `json:"pid"`
-			Tid  int64   `json:"tid"`
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Pid  int64  `json:"pid"`
+			Tid  int64  `json:"tid"`
 		} `json:"traceEvents"`
 		Metadata map[string]any `json:"metadata"`
 	}

@@ -103,6 +103,20 @@ type Result = core.Result
 // greedy rounds, candidate probes, prune counts, and wall time per stage.
 type SolveStats = core.SolveStats
 
+// SetSolveCacheEnabled toggles the cross-solve caches (hit thresholds and
+// recycled evaluators, both keyed by index epoch) and returns the previous
+// setting. The caches are on by default and bit-identical to the uncached
+// path; disabling them exists for A/B benchmarking and debugging.
+func SetSolveCacheEnabled(enabled bool) bool { return core.SetSolveCacheEnabled(enabled) }
+
+// SolveCacheEnabled reports whether the cross-solve caches are active.
+func SolveCacheEnabled() bool { return core.SolveCacheEnabled() }
+
+// PurgeSolveCaches drops all cached hit thresholds and idle evaluators,
+// forcing the next solves down the cold path. Benchmarks use it between
+// measurement phases; production code never needs it.
+func PurgeSolveCaches() { core.PurgeSolveCaches() }
+
 // SetMetricsEnabled toggles the wall-clock sampling half of the engine's
 // instrumentation (stage timings inside SolveStats and the duration
 // histograms) and returns the previous setting. Counters are a few atomic
@@ -314,6 +328,55 @@ func (s *System) MaxHitCtx(ctx context.Context, req MaxHitRequest) (*Result, err
 	return core.MaxHitIQCtx(ctx, s.view().idx, req)
 }
 
+// BatchItem is one solve of a batch: exactly one of MinCost or MaxHit must
+// be set.
+type BatchItem struct {
+	MinCost *MinCostRequest
+	MaxHit  *MaxHitRequest
+}
+
+// BatchResult is one batch item's outcome: Result on success, Err otherwise.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// SolveBatch answers several independent improvement queries against one
+// epoch snapshot; see SolveBatchCtx.
+func (s *System) SolveBatch(items []BatchItem) []BatchResult {
+	return s.SolveBatchCtx(context.Background(), items)
+}
+
+// SolveBatchCtx answers several independent improvement queries against a
+// single epoch snapshot: every item sees the same immutable workload/index
+// pair even if writers land mid-batch. Items run sequentially, which is what
+// makes batching fast — consecutive solves against the same snapshot share
+// the warm threshold and evaluator caches, so a batch of N solves pays the
+// cold-path cost at most once per distinct target. Per-item failures land in
+// the item's BatchResult; the batch itself never fails. Cancellation marks
+// every remaining item with the translated context error.
+func (s *System) SolveBatchCtx(ctx context.Context, items []BatchItem) []BatchResult {
+	st := s.view()
+	out := make([]BatchResult, len(items))
+	for i, it := range items {
+		if err := core.CtxErr(ctx); err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		switch {
+		case it.MinCost != nil && it.MaxHit == nil:
+			r, err := core.MinCostIQCtx(ctx, st.idx, *it.MinCost)
+			out[i] = BatchResult{Result: r, Err: err}
+		case it.MaxHit != nil && it.MinCost == nil:
+			r, err := core.MaxHitIQCtx(ctx, st.idx, *it.MaxHit)
+			out[i] = BatchResult{Result: r, Err: err}
+		default:
+			out[i] = BatchResult{Err: fmt.Errorf("iq: batch item %d must set exactly one of MinCost or MaxHit", i)}
+		}
+	}
+	return out
+}
+
 // MinCostMulti answers a combinatorial Min-Cost IQ over several targets
 // (Section 5.1).
 func (s *System) MinCostMulti(specs []TargetSpec, tau int) (*MultiResult, error) {
@@ -367,13 +430,16 @@ func (s *System) Hits(target int) (int, error) {
 }
 
 // HitsCtx is Hits under a context; the evaluator build records a span when
-// the context carries a trace.
+// the context carries a trace. Evaluators are recycled through the
+// cross-solve cache, so repeat hit counts against an unchanged epoch skip
+// the build entirely.
 func (s *System) HitsCtx(ctx context.Context, target int) (int, error) {
-	ev, err := ese.NewCtx(ctx, s.view().idx, target)
+	pool, release, err := core.AcquireEvaluators(ctx, s.view().idx, target, 1)
 	if err != nil {
 		return 0, err
 	}
-	return ev.BaseHits(), nil
+	defer release()
+	return pool[0].BaseHits(), nil
 }
 
 // Evaluate answers a plain top-k query against the dataset.
@@ -409,14 +475,15 @@ func (s *System) EvaluateStrategyCtx(ctx context.Context, target int, strategy V
 	if err := core.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	ev, err := ese.NewCtx(ctx, st.idx, target)
+	pool, release, err := core.AcquireEvaluators(ctx, st.idx, target, 1)
 	if err != nil {
 		return 0, err
 	}
+	defer release()
 	if err := core.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	return ev.Hits(strategy)
+	return pool[0].Hits(strategy)
 }
 
 // checkStrategy validates a (target, strategy) pair against a workload so

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Solve-cache benchmark gate: run iqbench's reduced-scale A/B of the two core
+# solvers with the cross-solve caches warm and disabled, and fail the build if
+# the warm path has stopped saving allocations. Wall-clock is printed for the
+# log but not gated — allocation counts are deterministic, latency on shared
+# CI hardware is not. The full-scale report lives in BENCH_PR5.json
+# (regenerate with: go run ./cmd/iqbench -cache-json BENCH_PR5.json).
+set -eu
+
+go run ./cmd/iqbench -cache-check
