@@ -37,6 +37,8 @@ func main() {
 		traceO     = flag.String("trace-json", "", "write the tracing-overhead report (solver ns/op with tracing off / enabled-idle / capturing) to this path and exit")
 		cacheO     = flag.String("cache-json", "", "write the solve-cache benchmark report (warm-cache vs uncached ns/op, allocs/op, batch throughput) to this path and exit")
 		cacheCheck = flag.Bool("cache-check", false, "run the reduced-scale solve-cache A/B and exit non-zero on an allocation regression (the scripts/benchcheck.sh gate)")
+		writeO     = flag.String("write-json", "", "write the write-path benchmark report (post-mutation warm-solve latency and threshold-cache profile, dirty-set vs whole-epoch invalidation, by mutation locality) to this path and exit")
+		writeCheck = flag.Bool("write-check", false, "run the deterministic write-path gate and exit non-zero when a non-overlapping mutation cold-starts the warm path (the scripts/benchcheck.sh gate)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,20 @@ func main() {
 	if *cacheCheck {
 		if err := runCacheCheck(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "iqbench: -cache-check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *writeO != "" {
+		if err := runWriteBench(*writeO, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -write-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *writeCheck {
+		if err := runWriteCheck(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -write-check: %v\n", err)
 			os.Exit(1)
 		}
 		return

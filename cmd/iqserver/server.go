@@ -157,6 +157,7 @@ func (s *server) handler() http.Handler {
 	s.route(mux, "POST /v1/solve/batch", s.admit(http.HandlerFunc(s.handleSolveBatch)))
 	s.route(mux, "POST /v1/evaluate", http.HandlerFunc(s.handleEvaluate))
 	s.route(mux, "POST /v1/commit", http.HandlerFunc(s.handleCommit))
+	s.route(mux, "POST /v1/commit/batch", http.HandlerFunc(s.handleCommitBatch))
 	s.route(mux, "POST /v1/objects", http.HandlerFunc(s.handleAddObject))
 	s.route(mux, "POST /v1/queries", http.HandlerFunc(s.handleAddQuery))
 	s.route(mux, "POST /v1/topk", http.HandlerFunc(s.handleTopK))
@@ -438,6 +439,37 @@ type batchItemResponse struct {
 
 type batchResponse struct {
 	Results []batchItemResponse `json:"results"`
+}
+
+// mutationWire is one write of a /v1/commit/batch request. Op selects the
+// mutation: "commit" (Target, Strategy), "add_object" (Attrs),
+// "remove_object" (ID), "add_query" (QueryID, K, Point), "remove_query"
+// (Index).
+type mutationWire struct {
+	Op       string    `json:"op"`
+	Target   int       `json:"target,omitempty"`
+	Strategy iq.Vector `json:"strategy,omitempty"`
+	Attrs    iq.Vector `json:"attrs,omitempty"`
+	ID       int       `json:"id,omitempty"`
+	QueryID  int       `json:"query_id,omitempty"`
+	K        int       `json:"k,omitempty"`
+	Point    iq.Vector `json:"point,omitempty"`
+	Index    int       `json:"index,omitempty"`
+}
+
+type commitBatchRequest struct {
+	Mutations []mutationWire `json:"mutations"`
+}
+
+// commitBatchResponse reports the ids assigned by add_object/add_query
+// mutations (-1 for the others) and the single epoch the batch published.
+type commitBatchResponse struct {
+	Results []mutationResultWire `json:"results"`
+	Epoch   uint64               `json:"epoch"`
+}
+
+type mutationResultWire struct {
+	ID int `json:"id"`
 }
 
 type strategyRequest struct {
@@ -816,6 +848,63 @@ func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.log.InfoContext(r.Context(), "strategy committed", "target", req.Target)
 		s.writeJSON(w, http.StatusOK, map[string]int{"hits": hits})
+	})
+}
+
+// handleCommitBatch applies several mutations as one atomic epoch via
+// iq.(*System).ApplyBatch: one clone, one repartition, one merged dirty set,
+// one publish. Malformed items are a 400 before anything is applied; an
+// error from any mutation rolls the whole batch back (ApplyBatch is
+// all-or-nothing), so the response either carries every result or none.
+func (s *server) handleCommitBatch(w http.ResponseWriter, r *http.Request) {
+	var req commitBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Mutations) == 0 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if s.cfg.maxBatchItems > 0 && len(req.Mutations) > s.cfg.maxBatchItems {
+		s.writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d mutations; limit is %d", len(req.Mutations), s.cfg.maxBatchItems))
+		return
+	}
+	muts := make([]iq.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		switch m.Op {
+		case "commit":
+			muts[i].Commit = &iq.CommitMutation{Target: m.Target, Strategy: m.Strategy}
+		case "add_object":
+			muts[i].AddObject = &iq.AddObjectMutation{Attrs: m.Attrs}
+		case "remove_object":
+			muts[i].RemoveObject = &iq.RemoveObjectMutation{ID: m.ID}
+		case "add_query":
+			muts[i].AddQuery = &iq.AddQueryMutation{Query: iq.Query{ID: m.QueryID, K: m.K, Point: m.Point}}
+		case "remove_query":
+			muts[i].RemoveQuery = &iq.RemoveQueryMutation{Index: m.Index}
+		default:
+			s.writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("mutation %d: unknown op %q", i, m.Op))
+			return
+		}
+	}
+	s.withSystemExclusive(w, func(sys *iq.System) {
+		results, err := sys.ApplyBatchCtx(r.Context(), muts)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := commitBatchResponse{
+			Results: make([]mutationResultWire, len(results)),
+			Epoch:   sys.Epoch(),
+		}
+		for i, res := range results {
+			resp.Results[i].ID = res.ID
+		}
+		s.log.InfoContext(r.Context(), "mutation batch committed",
+			"mutations", len(muts), "epoch", resp.Epoch)
+		s.writeJSON(w, http.StatusOK, resp)
 	})
 }
 

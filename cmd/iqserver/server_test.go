@@ -299,3 +299,104 @@ func TestStrategyDimensionMismatch(t *testing.T) {
 		t.Errorf("well-formed evaluate after rejects: %d %s", resp.StatusCode, body)
 	}
 }
+
+func TestCommitBatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 100, 40)
+
+	var before statsWire
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&before); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	req := commitBatchRequest{Mutations: []mutationWire{
+		{Op: "commit", Target: 5, Strategy: iq.Vector{-0.01, 0, 0}},
+		{Op: "add_object", Attrs: iq.Vector{0.4, 0.4, 0.4}},
+		{Op: "add_query", QueryID: 9001, K: 2, Point: iq.Vector{0.3, 0.5, 0.7}},
+		{Op: "remove_query", Index: 3},
+	}}
+	resp2, body := post(t, ts.URL+"/v1/commit/batch", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("commit/batch: %d %s", resp2.StatusCode, body)
+	}
+	var res commitBatchResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(res.Results))
+	}
+	if res.Results[0].ID != -1 || res.Results[3].ID != -1 {
+		t.Errorf("non-add mutations must report id -1: %+v", res.Results)
+	}
+	if res.Results[1].ID != 100 {
+		t.Errorf("add_object id = %d, want 100", res.Results[1].ID)
+	}
+	if res.Results[2].ID != 40 {
+		t.Errorf("add_query index = %d, want 40", res.Results[2].ID)
+	}
+	// The whole batch publishes exactly one epoch.
+	if res.Epoch != uint64(before.Epoch)+1 {
+		t.Errorf("epoch %d after batch, want %d", res.Epoch, before.Epoch+1)
+	}
+	var after statsWire
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.Objects != before.Objects+1 || after.Queries != before.Queries+1 {
+		t.Errorf("stats after batch %+v (before %+v)", after, before)
+	}
+}
+
+func TestCommitBatchEndpointRejects(t *testing.T) {
+	ts := testServer(t)
+	loadDataset(t, ts, 50, 20)
+
+	for name, req := range map[string]commitBatchRequest{
+		"empty":      {},
+		"unknown-op": {Mutations: []mutationWire{{Op: "upsert", Target: 1}}},
+		"bad-target": {Mutations: []mutationWire{
+			{Op: "commit", Target: 2, Strategy: iq.Vector{0, 0, 0}},
+			{Op: "commit", Target: -1, Strategy: iq.Vector{0, 0, 0}},
+		}},
+	} {
+		resp, body := post(t, ts.URL+"/v1/commit/batch", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, body)
+		}
+	}
+	// A rejected batch must not have published: epoch is still the load epoch
+	// and solves work against the original data.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsWire
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Objects != 50 || stats.Queries != 20 {
+		t.Errorf("failed batches mutated the dataset: %+v", stats)
+	}
+
+	// Oversized batch hits the item cap.
+	big := commitBatchRequest{}
+	for i := 0; i < defaultConfig().maxBatchItems+1; i++ {
+		big.Mutations = append(big.Mutations, mutationWire{Op: "commit", Target: 0, Strategy: iq.Vector{0, 0, 0}})
+	}
+	resp2, body := post(t, ts.URL+"/v1/commit/batch", big)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d (%s), want 400", resp2.StatusCode, body)
+	}
+}

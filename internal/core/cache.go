@@ -44,6 +44,10 @@ var (
 		"Solver evaluators constructed because none was cached.")
 	mSolveCacheEvictions = obs.Default.Counter("iq_solve_cache_evictions_total",
 		"Cache entries evicted by the LRU bound (both families).")
+	mCacheEntriesRetained = obs.Default.Counter("iq_cache_entries_retained_total",
+		"Cached values carried across a mutation by dirty-set migration (threshold slots + evaluators).")
+	mCacheEntriesInvalidated = obs.Default.Counter("iq_cache_entries_invalidated_total",
+		"Cached values dropped by dirty-set migration because the mutation's dirty set intersected them.")
 )
 
 // cacheEnabled gates both solve caches. On by default; the benchmark
@@ -126,6 +130,21 @@ func (t *lruTable[V]) purge() {
 	defer t.mu.Unlock()
 	t.items = map[cacheKey]*list.Element{}
 	t.order.Init()
+}
+
+// entriesFor snapshots every slot keyed to the given index snapshot. The
+// migration layer iterates the copy outside the table lock; values carry
+// their own locks.
+func (t *lruTable[V]) entriesFor(idx *subdomain.Index) []lruSlot[V] {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []lruSlot[V]
+	for _, el := range t.items {
+		if s := el.Value.(*lruSlot[V]); s.key.idx == idx {
+			out = append(out, *s)
+		}
+	}
+	return out
 }
 
 // --- hit-threshold cache ---
@@ -280,6 +299,160 @@ func AcquireEvaluators(ctx context.Context, idx *subdomain.Index, target, worker
 	}
 	release := func() { releaseEvaluators(key, pool) }
 	return pool, release, nil
+}
+
+// --- dirty-set cache migration ---
+
+// dirtyInvalidation gates the migration layer. On by default; the write
+// benchmark flips it off to A/B dirty-set invalidation against the old
+// whole-epoch behaviour (every write cold-starts every cache).
+var dirtyInvalidation atomic.Bool
+
+func init() { dirtyInvalidation.Store(true) }
+
+// SetDirtyInvalidationEnabled toggles dirty-set cache migration across
+// mutations and returns the previous setting. Disabled, a mutation's new
+// epoch starts with cold caches (the pre-dirty-set behaviour); results are
+// bit-identical either way.
+func SetDirtyInvalidationEnabled(enabled bool) bool {
+	return dirtyInvalidation.Swap(enabled)
+}
+
+// DirtyInvalidationEnabled reports whether dirty-set migration is active.
+func DirtyInvalidationEnabled() bool { return dirtyInvalidation.Load() }
+
+// MigrateSolveCaches carries cached solver state across a copy-on-write
+// mutation: every threshold table and idle evaluator keyed to the
+// pre-mutation snapshot oldIdx is re-keyed to its successor newIdx, minus
+// exactly the values the mutation's dirty set invalidates. The write path
+// calls it after the mutation succeeded and before publishing newIdx, so the
+// first post-publish solve finds the surviving entries warm.
+//
+//   - Threshold tables survive per query: a dirty query's slot reverts to
+//     unknown (for every target except the query's sole dirtying object —
+//     a target's threshold excludes the target itself); clean slots keep
+//     their bit-exact values. The epoch advances with the snapshot, ordering
+//     versions without wiping entries.
+//   - Idle evaluators survive whole or not at all: only when the dirty set
+//     is clean for their target (no query changes, candidate skyband
+//     untouched, target unchanged) — then base ranks, hit sets, and the hit
+//     memo are all still exact and the evaluator is rebased onto newIdx.
+//
+// Old-key entries are left to age out of the LRU so in-flight solves against
+// the superseded snapshot stay warm too.
+func MigrateSolveCaches(oldIdx, newIdx *subdomain.Index, ds *subdomain.DirtySet) {
+	if oldIdx == newIdx || !cacheEnabled.Load() || !dirtyInvalidation.Load() {
+		return
+	}
+	migrateThresholds(oldIdx, newIdx, ds)
+	migrateEvaluators(oldIdx, newIdx, ds)
+}
+
+func migrateThresholds(oldIdx, newIdx *subdomain.Index, ds *subdomain.DirtySet) {
+	slots := thresholds.entriesFor(oldIdx)
+	if len(slots) == 0 {
+		return
+	}
+	if ds.All() {
+		for _, sl := range slots {
+			sl.val.mu.RLock()
+			n := int64(knownSlots(sl.val.state))
+			sl.val.mu.RUnlock()
+			mCacheEntriesInvalidated.Add(n)
+		}
+		return
+	}
+	oldEpoch, newEpoch := oldIdx.Epoch(), newIdx.Epoch()
+	n := newIdx.Workload().NumQueries()
+	for _, sl := range slots {
+		old := sl.val
+		ne := &thresholdEntry{epoch: newEpoch, state: make([]uint8, n), val: make([]float64, n)}
+		old.mu.RLock()
+		if old.epoch != oldEpoch {
+			old.mu.RUnlock()
+			continue // stale against its own snapshot; nothing worth moving
+		}
+		copy(ne.state, old.state)
+		copy(ne.val, old.val)
+		old.mu.RUnlock()
+		invalidated := 0
+		ds.ForEachQuery(func(j, source int) {
+			if j < n && source != sl.key.target && ne.state[j] != thrUnknown {
+				ne.state[j] = thrUnknown
+				invalidated++
+			}
+		})
+		retained := knownSlots(ne.state)
+		if retained == 0 {
+			mCacheEntriesInvalidated.Add(int64(invalidated))
+			continue // nothing survived; let the new epoch fill cold
+		}
+		thresholds.getOrCreate(cacheKey{idx: newIdx, target: sl.key.target}, func() *thresholdEntry {
+			return ne
+		})
+		mCacheEntriesRetained.Add(int64(retained))
+		mCacheEntriesInvalidated.Add(int64(invalidated))
+	}
+}
+
+func knownSlots(state []uint8) int {
+	n := 0
+	for _, s := range state {
+		if s != thrUnknown {
+			n++
+		}
+	}
+	return n
+}
+
+func migrateEvaluators(oldIdx, newIdx *subdomain.Index, ds *subdomain.DirtySet) {
+	slots := evaluators.entriesFor(oldIdx)
+	if len(slots) == 0 {
+		return
+	}
+	oldEpoch, newEpoch := oldIdx.Epoch(), newIdx.Epoch()
+	for _, sl := range slots {
+		e := sl.val
+		if !ds.CleanForTarget(sl.key.target) {
+			e.mu.Lock()
+			mCacheEntriesInvalidated.Add(int64(len(e.idle)))
+			e.idle = nil // they could only rebuild from scratch; free them now
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Lock()
+		idle := e.idle
+		e.idle = nil
+		if e.epoch != oldEpoch {
+			idle = nil
+		}
+		e.mu.Unlock()
+		var moved []*ese.Evaluator
+		for _, ev := range idle {
+			if ev.Rebase(newIdx) {
+				moved = append(moved, ev)
+			}
+		}
+		if len(moved) == 0 {
+			continue
+		}
+		ne := evaluators.getOrCreate(cacheKey{idx: newIdx, target: sl.key.target}, func() *evaluatorEntry {
+			return &evaluatorEntry{}
+		})
+		ne.mu.Lock()
+		if ne.epoch != newEpoch {
+			ne.idle = nil
+			ne.epoch = newEpoch
+		}
+		for _, ev := range moved {
+			if len(ne.idle) >= idleEvaluatorsMax {
+				break
+			}
+			ne.idle = append(ne.idle, ev)
+		}
+		mCacheEntriesRetained.Add(int64(len(ne.idle)))
+		ne.mu.Unlock()
+	}
 }
 
 // releaseEvaluators parks a solve's evaluators for reuse, up to the

@@ -234,6 +234,30 @@ func (e *Evaluator) Target() int { return e.target }
 // Index returns the subdomain index the evaluator was built against.
 func (e *Evaluator) Index() *subdomain.Index { return e.idx }
 
+// Rebase re-attaches the evaluator to a successor index snapshot whose
+// mutations left every cached structure bit-identical. The caller — the
+// cache-migration layer in internal/core — guarantees, via
+// DirtySet.CleanForTarget, that between e's snapshot and next: the query set
+// is unchanged, the candidate skyband (membership and coefficients) is
+// unchanged, and the target's coefficients and liveness are unchanged.
+// Under those conditions no repartition ran, so subdomain IDs, per-subdomain
+// ranks, base hit sets, pair normals, and the hit memo all remain exact
+// against next. Rebase refuses (returning false, evaluator unchanged) when
+// the evaluator's cached state is not current for its own snapshot or the
+// query count disagrees — the callers then simply drop it.
+func (e *Evaluator) Rebase(next *subdomain.Index) bool {
+	if e.epoch != e.idx.Epoch() {
+		return false // stale against its own index; a rebuild is due anyway
+	}
+	if next.Workload().NumQueries() != e.w.NumQueries() {
+		return false
+	}
+	e.idx = next
+	e.w = next.Workload()
+	e.epoch = next.Epoch()
+	return true
+}
+
 // Bind re-attaches the evaluator to a caller's context so spans from later
 // epoch-forced rebuilds land in that caller's trace. Evaluator recycling
 // (the solver-side evaluator cache) hands a previous solve's evaluator to a
@@ -342,11 +366,18 @@ func (e *Evaluator) HitsWithCoeff(newCoeff vec.Vector) int {
 // memoKey serialises newCoeff's exact bit pattern into the evaluator's key
 // scratch buffer. Float64bits keys distinguish every representable vector —
 // a colliding key is a byte-identical vector, whose hit count is identical —
-// and map lookups through string(keyBuf) do not allocate.
+// and map lookups through string(keyBuf) do not allocate. The one
+// numerically-equal-but-bitwise-distinct pair, -0.0 vs +0.0, is normalised
+// to +0.0: every score and sign computation treats them identically, so
+// splitting them across two memo entries would only waste a slot and a cold
+// evaluation.
 func (e *Evaluator) memoKey(newCoeff vec.Vector) []byte {
 	buf := e.keyBuf[:0]
 	for _, x := range newCoeff {
 		b := math.Float64bits(x)
+		if b == 1<<63 { // -0.0 == +0.0; key them identically
+			b = 0
+		}
 		buf = append(buf,
 			byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
 			byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))

@@ -1,6 +1,7 @@
 package ese
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -343,5 +344,37 @@ func TestEvaluatorSurvivesSubdomainUpdates(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("after updates: ESE %d, brute force %d", got, want)
+	}
+}
+
+// TestHitMemoNegativeZero pins the memo-key normalisation: IEEE-754 gives
+// -0.0 and +0.0 distinct bit patterns but identical scoring behaviour, so a
+// coefficient that differs only in a zero's sign must share one memo entry
+// and one answer. Before normalisation the memo split such probes into two
+// entries, halving its effective capacity on workloads whose strategies zero
+// out axes.
+func TestHitMemoNegativeZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	idx := buildFixture(t, rng, 60, 40, 3, 3)
+	e, err := New(idx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := vec.Clone(idx.Workload().Coeff(0))
+	coeff[1] = 0.0
+	pos := e.HitsWithCoeff(coeff)
+	if len(e.hitMemo) != 1 {
+		t.Fatalf("expected 1 memo entry after first probe, got %d", len(e.hitMemo))
+	}
+	neg := vec.Clone(coeff)
+	neg[1] = math.Copysign(0, -1)
+	if math.Float64bits(neg[1]) == math.Float64bits(coeff[1]) {
+		t.Fatal("test setup failed to produce a negative zero")
+	}
+	if got := e.HitsWithCoeff(neg); got != pos {
+		t.Fatalf("hits diverged on zero sign: +0 gave %d, -0 gave %d", pos, got)
+	}
+	if len(e.hitMemo) != 1 {
+		t.Fatalf("-0.0 probe split the memo: %d entries", len(e.hitMemo))
 	}
 }

@@ -94,8 +94,24 @@ type Index struct {
 	// epoch increments on every mutating operation (object/query add,
 	// remove, update). Consumers that cache derived state — the ESE
 	// evaluator's per-subdomain ranks — tag their caches with it and
-	// rebuild when it moves.
+	// rebuild when it moves. Since the dirty-set layer the epoch orders
+	// versions; it is no longer the invalidation signal itself (see
+	// DirtySet).
 	epoch uint64
+	// pending accumulates the dirty set of every mutation since the last
+	// TakeDirty; nil until the first mutation. Clones start with a fresh
+	// accumulator — their caches were exact at clone time.
+	pending *DirtySet
+	// Batch mode (BeginBatch/EndBatch): mutations dissolve affected
+	// subdomains eagerly — keeping the boundary tables and query mapping
+	// consistent for subsequent operations — but defer the expensive
+	// partitioning of the orphaned queries, coalescing N mutations into one
+	// partitionQueries run at EndBatch.
+	batching      bool
+	batchDeferred bool     // at least one repartition was deferred
+	batchAllPairs bool     // some deferred repartition wanted the full pair set
+	batchPairs    [][2]int // union of deferred pair restrictions
+	batchPairSeen map[[2]int]bool
 }
 
 // Build constructs the index over the workload per Algorithm 1.
@@ -520,6 +536,10 @@ func (x *Index) CloneCtx(ctx context.Context, w *topk.Workload) *Index {
 		boundaryIndex:          make(map[[2]int][]int, len(x.boundaryIndex)),
 		intersectionsProcessed: x.intersectionsProcessed,
 		epoch:                  x.epoch,
+		// pending stays nil: the clone's caches (keyed by the clone's
+		// identity) do not exist yet, so its dirty window starts empty —
+		// TakeDirty after mutating the clone describes exactly the delta
+		// from the cloned state.
 	}
 	for id, s := range x.subs {
 		c.subs[id] = &Subdomain{

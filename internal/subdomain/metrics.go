@@ -19,6 +19,11 @@ var (
 		"Wall time of copy-on-write index clones.", nil)
 	mRepartitions = obs.Default.Counter("iq_index_repartitions_total",
 		"Partial repartitions triggered by updates.")
+	mBatchedRepartitions = obs.Default.Counter("iq_index_batched_repartitions_total",
+		"Deferred repartitions coalesced by BeginBatch/EndBatch (one per batch that needed any).")
+	mDirtySetSize = obs.Default.Histogram("iq_dirty_set_size",
+		"Dirty queries per published mutation (TakeDirty): how much cached state each write invalidates.",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 	mSubdomains = obs.Default.Gauge("iq_index_subdomains",
 		"Subdomains in the most recently built or mutated index.")
 	mCandidates = obs.Default.Gauge("iq_index_candidates",

@@ -36,6 +36,10 @@ func (x *Index) AddQueryCtx(ctx context.Context, q topk.Query) (int, error) {
 	mAddQuery.Inc()
 	defer x.publishShape()
 	x.epoch++
+	// A new query dirties exactly itself: thresholds of other queries are
+	// untouched, but whole-workload aggregates (evaluator base hit sets)
+	// must go.
+	x.dirty().markQuery(j, -1)
 	point := x.w.Query(j).Point
 	x.tree.Insert(point, j)
 	x.queryToSub = append(x.queryToSub, -1)
@@ -93,7 +97,11 @@ func (x *Index) RemoveQuery(j int) error {
 func (x *Index) RemoveQueryCtx(ctx context.Context, j int) error {
 	_, sp := obs.StartSpan(ctx, "index/remove_query")
 	defer sp.End()
-	if j < 0 || j >= len(x.queryToSub) || x.queryToSub[j] < 0 {
+	// Liveness is tracked by removedQ, not queryToSub: during a batch an
+	// earlier operation may have dissolved this query's subdomain, leaving a
+	// live query transiently orphaned (queryToSub < 0) until EndBatch
+	// repartitions. Removing such a query must still succeed.
+	if j < 0 || j >= len(x.queryToSub) || x.removedQ[j] {
 		return fmt.Errorf("subdomain: query %d not indexed", j)
 	}
 	point := x.w.Query(j).Point
@@ -103,23 +111,25 @@ func (x *Index) RemoveQueryCtx(ctx context.Context, j int) error {
 	mRemoveQuery.Inc()
 	defer x.publishShape()
 	x.epoch++
-	subID := x.queryToSub[j]
-	s := x.subs[subID]
-	for i, q := range s.Queries {
-		if q == j {
-			s.Queries = append(s.Queries[:i], s.Queries[i+1:]...)
-			break
+	x.dirty().markQuery(j, -1)
+	if subID := x.queryToSub[j]; subID >= 0 {
+		s := x.subs[subID]
+		for i, q := range s.Queries {
+			if q == j {
+				s.Queries = append(s.Queries[:i], s.Queries[i+1:]...)
+				break
+			}
+		}
+		if len(s.Queries) == 0 {
+			delete(x.subs, subID)
+			x.dropBoundaryLinks(s)
+		} else if s.rep == j {
+			s.rep = s.Queries[0]
 		}
 	}
 	x.queryToSub[j] = -1
 	x.removedQ[j] = true
 	x.w.RemoveQuery(j)
-	if len(s.Queries) == 0 {
-		delete(x.subs, subID)
-		x.dropBoundaryLinks(s)
-	} else if s.rep == j {
-		s.rep = s.Queries[0]
-	}
 	return nil
 }
 
@@ -172,10 +182,16 @@ func (x *Index) AddObjectCtx(ctx context.Context, attrs vec.Vector) (int, error)
 		}
 	}
 	if dominators >= kLimit {
-		return id, nil // cannot enter any top-k; no subdomain can change
+		// Cannot enter any top-k: no subdomain, threshold, or evaluator
+		// state can change, so the dirty set stays empty and every cache
+		// survives the epoch bump untouched.
+		return id, nil
 	}
 	x.candidates = append(x.candidates, id)
 	x.candSet[id] = true
+	x.dirty().markObject(id)
+	x.dirty().markCandidatesChanged()
+	x.markRankDirty(x.candidates, id, coeff, -1, nil)
 	// New intersections involve only the new object.
 	pairs := make([][2]int, 0, len(x.candidates)-1)
 	for _, c := range x.candidates {
@@ -203,13 +219,23 @@ func (x *Index) UpdateObjectCtx(ctx context.Context, id int, attrs vec.Vector) e
 		return fmt.Errorf("subdomain: object %d not updatable", id)
 	}
 	wasCandidate := x.candSet[id]
+	// Snapshot pre-mutation state for the dirty computation: departures are
+	// judged against the old candidate list with the old coefficients.
+	oldCands := x.candidates
+	oldCoeff := vec.Clone(x.w.Coeff(id))
+	if wasCandidate {
+		// Old-state check for the updated candidate itself, while the
+		// workload still scores it with the old coefficients.
+		x.markRankDirty(oldCands, id, oldCoeff, -1, nil)
+	}
 	if err := x.w.UpdateObject(id, attrs); err != nil {
 		return err
 	}
 	mUpdateObject.Inc()
 	defer x.publishShape()
 	x.epoch++
-	// Recompute the candidate set; remember promotions.
+	x.dirty().markObject(id)
+	// Recompute the candidate set; remember promotions and demotions.
 	oldSet := x.candSet
 	x.candidates = x.w.Candidates(x.opts.Slack)
 	x.candSet = make(map[int]bool, len(x.candidates))
@@ -219,6 +245,28 @@ func (x *Index) UpdateObjectCtx(ctx context.Context, id int, attrs vec.Vector) e
 		if !oldSet[c] && c != id {
 			promoted = append(promoted, c)
 		}
+	}
+	var demoted []int
+	for c := range oldSet {
+		if !x.candSet[c] && c != id {
+			demoted = append(demoted, c)
+		}
+	}
+	if wasCandidate || x.candSet[id] || len(promoted) > 0 || len(demoted) > 0 {
+		x.dirty().markCandidatesChanged()
+	}
+	// New-state checks: the updated object with its new coefficients and
+	// every promotion, ranked among the current candidates. Demotions rank
+	// among the old candidates — their own coefficients are unchanged, but
+	// the updated object's must be overridden back to its old value.
+	if x.candSet[id] {
+		x.markRankDirty(x.candidates, id, x.w.Coeff(id), -1, nil)
+	}
+	for _, p := range promoted {
+		x.markRankDirty(x.candidates, p, x.w.Coeff(p), -1, nil)
+	}
+	for _, c := range demoted {
+		x.markRankDirty(oldCands, c, x.w.Coeff(c), id, oldCoeff)
 	}
 	// Subdomains bounded by the object's old intersections must regroup.
 	var queries []int
@@ -285,12 +333,22 @@ func (x *Index) RemoveObjectCtx(ctx context.Context, id int) error {
 	if x.w.IsRemoved(id) {
 		return fmt.Errorf("subdomain: object %d already removed", id)
 	}
+	x.dirty().markObject(id)
+	if x.candSet[id] {
+		// Departure check against the pre-removal state, while the object
+		// still scores among the candidates.
+		x.markRankDirty(x.candidates, id, x.w.Coeff(id), -1, nil)
+		x.dirty().markCandidatesChanged()
+	}
 	x.w.RemoveObject(id)
 	mRemoveObject.Inc()
 	defer x.publishShape()
 	x.epoch++
 	if !x.candSet[id] {
-		return nil // never partitioned anything
+		// A non-candidate was in no top-k: thresholds and evaluators for
+		// other targets survive (the object itself is marked dirty above so
+		// its own evaluators are dropped).
+		return nil
 	}
 	delete(x.candSet, id)
 	for i, c := range x.candidates {
@@ -312,6 +370,10 @@ func (x *Index) RemoveObjectCtx(ctx context.Context, id int) error {
 		if !oldSet[c] {
 			promoted = append(promoted, c)
 		}
+	}
+	// Arrival checks for the promotions, ranked in the post-removal state.
+	for _, p := range promoted {
+		x.markRankDirty(x.candidates, p, x.w.Coeff(p), -1, nil)
 	}
 
 	// Locate affected subdomains: Bloom filter first, boundary index for
@@ -376,13 +438,34 @@ func (x *Index) allIndexedQueries() []int {
 }
 
 // repartition removes the given queries from their subdomains and re-runs
-// the partitioning over them (restricted to pairs when non-nil).
+// the partitioning over them (restricted to pairs when non-nil). In batch
+// mode the dissolve still happens eagerly — later operations in the batch
+// rely on consistent boundary tables and query mappings — but the
+// partitioning of the orphans is deferred to EndBatch with the union of the
+// pair restrictions.
 func (x *Index) repartition(ctx context.Context, queries []int, pairs [][2]int) {
-	_, sp := obs.StartSpan(ctx, "index/repartition")
-	sp.SetAttr("queries", len(queries))
-	sp.SetAttr("pairs", len(pairs))
-	defer sp.End()
-	mRepartitions.Inc()
+	x.dissolve(queries)
+	if x.batching {
+		x.batchDeferred = true
+		if pairs == nil {
+			x.batchAllPairs = true
+		} else if !x.batchAllPairs {
+			for _, p := range pairs {
+				key := pairKey(p[0], p[1])
+				if !x.batchPairSeen[key] {
+					x.batchPairSeen[key] = true
+					x.batchPairs = append(x.batchPairs, key)
+				}
+			}
+		}
+		return
+	}
+	x.partitionOrphans(ctx, pairs, len(queries))
+}
+
+// dissolve removes the given queries' subdomains (and their siblings — the
+// group structure stays consistent only in whole subdomains).
+func (x *Index) dissolve(queries []int) {
 	for _, j := range queries {
 		subID := x.queryToSub[j]
 		if subID < 0 {
@@ -391,29 +474,78 @@ func (x *Index) repartition(ctx context.Context, queries []int, pairs [][2]int) 
 		if s, ok := x.subs[subID]; ok {
 			delete(x.subs, subID)
 			x.dropBoundaryLinks(s)
-			// Pull in the sibling queries of dissolved subdomains so the
-			// group structure stays consistent.
 			for _, sib := range s.Queries {
 				x.queryToSub[sib] = -1
 			}
 		}
 		x.queryToSub[j] = -1
 	}
+}
+
+// partitionOrphans re-groups every currently orphaned query.
+func (x *Index) partitionOrphans(ctx context.Context, pairs [][2]int, dissolved int) {
+	_, sp := obs.StartSpan(ctx, "index/repartition")
+	sp.SetAttr("queries", dissolved)
+	sp.SetAttr("pairs", len(pairs))
+	defer sp.End()
+	mRepartitions.Inc()
 	// Collect every now-orphaned query (dedup), excluding queries the user
 	// removed — they must never be resurrected into a subdomain.
-	orphan := map[int]bool{}
+	var all []int
 	for j, subID := range x.queryToSub {
 		if subID < 0 && !x.removedQ[j] {
-			orphan[j] = true
+			all = append(all, j)
 		}
-	}
-	var all []int
-	for j := range orphan {
-		all = append(all, j)
 	}
 	// Updates always refine: a pair-restricted split alone cannot
 	// guarantee the grouping invariant.
 	x.partitionQueries(all, pairs, true)
+}
+
+// BeginBatch puts the index into batch-mutation mode: subsequent operations
+// dissolve affected subdomains eagerly but defer the partitioning of the
+// orphaned queries until EndBatch, which runs it once over the union — N
+// mutations cost one repartition instead of up to 2N. Between BeginBatch and
+// EndBatch the index answers membership queries consistently, but orphaned
+// queries have no subdomain (SubdomainOf returns nil), so evaluation must
+// wait for EndBatch. Not safe for concurrent use; the copy-on-write System
+// only batches on private clones.
+func (x *Index) BeginBatch() {
+	x.batching = true
+	x.batchDeferred = false
+	x.batchAllPairs = false
+	x.batchPairs = nil
+	x.batchPairSeen = map[[2]int]bool{}
+}
+
+// EndBatch leaves batch mode, running the single deferred partitioning pass
+// over every orphaned query. The signature-refinement pass guarantees the
+// grouping invariant no matter how the batch's pair restrictions merged.
+func (x *Index) EndBatch() {
+	x.EndBatchCtx(context.Background())
+}
+
+// EndBatchCtx is EndBatch with tracing.
+func (x *Index) EndBatchCtx(ctx context.Context) {
+	if !x.batching {
+		return
+	}
+	x.batching = false
+	pairs := x.batchPairs
+	if x.batchAllPairs {
+		pairs = nil
+	}
+	deferred := x.batchDeferred
+	x.batchDeferred = false
+	x.batchAllPairs = false
+	x.batchPairs = nil
+	x.batchPairSeen = nil
+	if !deferred {
+		return
+	}
+	mBatchedRepartitions.Inc()
+	x.partitionOrphans(ctx, pairs, 0)
+	x.publishShape()
 }
 
 // intersectionOf rebuilds the intersection hyperplane for an object pair.

@@ -117,6 +117,20 @@ func SolveCacheEnabled() bool { return core.SolveCacheEnabled() }
 // measurement phases; production code never needs it.
 func PurgeSolveCaches() { core.PurgeSolveCaches() }
 
+// SetDirtyInvalidationEnabled toggles dirty-set cache migration across
+// writes and returns the previous setting. Enabled (the default), a
+// mutation invalidates only the cached thresholds and evaluators its dirty
+// set intersects; everything else stays warm into the new epoch. Disabled,
+// every write cold-starts the caches (the pre-dirty-set behaviour). Results
+// are bit-identical either way; the toggle exists for A/B benchmarking.
+func SetDirtyInvalidationEnabled(enabled bool) bool {
+	return core.SetDirtyInvalidationEnabled(enabled)
+}
+
+// DirtyInvalidationEnabled reports whether dirty-set cache migration is
+// active.
+func DirtyInvalidationEnabled() bool { return core.DirtyInvalidationEnabled() }
+
 // SetMetricsEnabled toggles the wall-clock sampling half of the engine's
 // instrumentation (stage timings inside SolveStats and the duration
 // histograms) and returns the previous setting. Counters are a few atomic
@@ -246,6 +260,15 @@ func (s *System) mutate(fn func(st *state) error) error {
 
 // mutateCtx is mutate under a context so write operations record their
 // clone/update spans into the caller's trace.
+//
+// After fn succeeds, the clone's accumulated dirty set is taken and the
+// cross-solve caches are migrated from the superseded snapshot to the clone
+// before it is published: entries the mutation did not dirty stay warm
+// across the write. The migration runs pre-publish so the first post-commit
+// solve already finds them. A failed — or cancelled — fn discards the clone
+// and its dirty set together: cancellation is re-checked at the
+// MutationCheckpoint after fn, so a cancelled mutation never publishes a
+// partially merged dirty set or migrated cache state.
 func (s *System) mutateCtx(ctx context.Context, fn func(st *state) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -255,6 +278,10 @@ func (s *System) mutateCtx(ctx context.Context, fn func(st *state) error) error 
 	if err := fn(next); err != nil {
 		return err
 	}
+	if err := core.MutationCheckpoint(ctx, -1); err != nil {
+		return err
+	}
+	core.MigrateSolveCaches(old.idx, next.idx, next.idx.TakeDirty())
 	s.cur.Store(next)
 	return nil
 }
@@ -597,6 +624,128 @@ func (s *System) RemoveQuery(j int) error {
 // CommitCtx.
 func (s *System) RemoveQueryCtx(ctx context.Context, j int) error {
 	return s.mutateCtx(ctx, func(st *state) error { return st.idx.RemoveQueryCtx(ctx, j) })
+}
+
+// Mutation is one write operation of a batch; exactly one field must be
+// set. See ApplyBatch.
+type Mutation struct {
+	Commit       *CommitMutation
+	AddObject    *AddObjectMutation
+	RemoveObject *RemoveObjectMutation
+	AddQuery     *AddQueryMutation
+	RemoveQuery  *RemoveQueryMutation
+}
+
+// CommitMutation applies an improvement strategy to a target (Commit).
+type CommitMutation struct {
+	Target   int
+	Strategy Vector
+}
+
+// AddObjectMutation inserts a new object (AddObject).
+type AddObjectMutation struct {
+	Attrs Vector
+}
+
+// RemoveObjectMutation tombstones an object (RemoveObject).
+type RemoveObjectMutation struct {
+	ID int
+}
+
+// AddQueryMutation inserts a new top-k query (AddQuery).
+type AddQueryMutation struct {
+	Query Query
+}
+
+// RemoveQueryMutation removes a query (RemoveQuery).
+type RemoveQueryMutation struct {
+	Index int
+}
+
+// MutationResult reports one batch operation's outcome: ID is the index
+// assigned by AddObject/AddQuery mutations and -1 for the others.
+type MutationResult struct {
+	ID int
+}
+
+// ApplyBatch applies several mutations as one atomic write; see
+// ApplyBatchCtx.
+func (s *System) ApplyBatch(muts []Mutation) ([]MutationResult, error) {
+	return s.ApplyBatchCtx(context.Background(), muts)
+}
+
+// ApplyBatchCtx coalesces N mutations into a single copy-on-write commit:
+// one workload/index clone, one deferred repartition covering every affected
+// subdomain, one merged dirty set driving one cache migration, and one epoch
+// publish. For write-heavy traffic this replaces N clones and up to 2N
+// repartitions with one of each. The batch is all-or-nothing: if any
+// mutation fails — or the context is cancelled between mutations — the clone
+// and its accumulated dirty set are discarded together and the visible
+// System is unchanged, with the failing operation's error returned. Readers
+// never observe intermediate states. An empty batch publishes nothing.
+func (s *System) ApplyBatchCtx(ctx context.Context, muts []Mutation) ([]MutationResult, error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	results := make([]MutationResult, len(muts))
+	err := s.mutateCtx(ctx, func(st *state) error {
+		st.idx.BeginBatch()
+		for i, m := range muts {
+			if err := core.MutationCheckpoint(ctx, i); err != nil {
+				return err
+			}
+			id, err := applyMutation(ctx, st, m)
+			if err != nil {
+				return fmt.Errorf("iq: batch mutation %d: %w", i, err)
+			}
+			results[i] = MutationResult{ID: id}
+		}
+		st.idx.EndBatchCtx(ctx)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// applyMutation dispatches one batch operation against the private clone.
+func applyMutation(ctx context.Context, st *state, m Mutation) (int, error) {
+	set := 0
+	if m.Commit != nil {
+		set++
+	}
+	if m.AddObject != nil {
+		set++
+	}
+	if m.RemoveObject != nil {
+		set++
+	}
+	if m.AddQuery != nil {
+		set++
+	}
+	if m.RemoveQuery != nil {
+		set++
+	}
+	if set != 1 {
+		return -1, fmt.Errorf("exactly one operation must be set, got %d", set)
+	}
+	switch {
+	case m.Commit != nil:
+		if err := checkStrategy(st.w, m.Commit.Target, m.Commit.Strategy); err != nil {
+			return -1, err
+		}
+		attrs := vec.Add(st.w.Attrs(m.Commit.Target), m.Commit.Strategy)
+		return -1, st.idx.UpdateObjectCtx(ctx, m.Commit.Target, attrs)
+	case m.AddObject != nil:
+		return st.idx.AddObjectCtx(ctx, m.AddObject.Attrs)
+	case m.RemoveObject != nil:
+		return -1, st.idx.RemoveObjectCtx(ctx, m.RemoveObject.ID)
+	case m.AddQuery != nil:
+		return st.idx.AddQueryCtx(ctx, m.AddQuery.Query)
+	default:
+		return -1, st.idx.RemoveQueryCtx(ctx, m.RemoveQuery.Index)
+	}
 }
 
 // NumObjects returns the dataset size (including tombstoned objects).

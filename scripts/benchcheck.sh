@@ -1,10 +1,16 @@
 #!/bin/sh
-# Solve-cache benchmark gate: run iqbench's reduced-scale A/B of the two core
-# solvers with the cross-solve caches warm and disabled, and fail the build if
-# the warm path has stopped saving allocations. Wall-clock is printed for the
-# log but not gated — allocation counts are deterministic, latency on shared
-# CI hardware is not. The full-scale report lives in BENCH_PR5.json
-# (regenerate with: go run ./cmd/iqbench -cache-json BENCH_PR5.json).
+# Benchmark gates, all deterministic (no wall-clock thresholds — latency on
+# shared CI hardware is noise; allocation and cache-miss counts are exact).
+#
+# 1. Solve-cache A/B (PR 5): warm-cache solves must allocate less than
+#    uncached ones. Full-scale report: BENCH_PR5.json
+#    (regenerate with: go run ./cmd/iqbench -cache-json BENCH_PR5.json).
+# 2. Write-path invalidation (PR 6): after mutations whose dirty set does not
+#    overlap the solve target, the repeat solve must take zero threshold
+#    misses with dirty-set invalidation on, and must cold-start with it off.
+#    Full-scale report: BENCH_PR6.json
+#    (regenerate with: go run ./cmd/iqbench -write-json BENCH_PR6.json).
 set -eu
 
 go run ./cmd/iqbench -cache-check
+go run ./cmd/iqbench -write-check

@@ -15,9 +15,18 @@ import (
 // rebuilt rather than stored — construction is fast relative to I/O and the
 // rebuild guarantees the grouping invariant against format drift.
 //
-// Queries removed with RemoveQuery are compacted out of the snapshot, so
-// query indices may shift across a Save/Load cycle; object indices are
-// stable (tombstones are preserved).
+// Query indices are stable across a Save/Load cycle, exactly like object
+// indices: every query slot is serialised, with removals preserved as
+// tombstones (QueryRemoved) and re-applied on Load. Version 1 snapshots
+// compacted removed queries away and shifted the survivors' indices —
+// callers holding pre-save indices silently queried the wrong slot after a
+// reload. Version 2 fixes that; version 1 snapshots still load (their
+// surviving queries keep the compacted positions the old format stored).
+//
+// Load never reuses cache state: the rebuilt index is a fresh identity, so
+// the solve caches (keyed by index identity) start cold by construction, and
+// the dirty set accumulated while re-applying query tombstones is drained
+// before the System is handed out.
 
 // spaceSpec is the serialisable description of an embedding space.
 type spaceSpec struct {
@@ -70,19 +79,22 @@ func (s spaceSpec) build() (Space, error) {
 	}
 }
 
-// snapshot is the on-disk format.
+// snapshot is the on-disk format. QueryRemoved is parallel to the query
+// slices in version ≥ 2; in version 1 it is absent (removed queries were
+// compacted out at save time instead).
 type snapshot struct {
-	Version int
-	Space   spaceSpec
-	Objects []vec.Vector
-	Removed []bool
-	QueryID []int
-	QueryK  []int
-	QueryPt []vec.Vector
-	Options IndexOptions
+	Version      int
+	Space        spaceSpec
+	Objects      []vec.Vector
+	Removed      []bool
+	QueryID      []int
+	QueryK       []int
+	QueryPt      []vec.Vector
+	QueryRemoved []bool
+	Options      IndexOptions
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save writes the System to w. The subdomain index is rebuilt on Load.
 // The snapshot is taken from a single epoch: a concurrent commit either
@@ -101,14 +113,17 @@ func (s *System) Save(w io.Writer) error {
 		snap.Objects[i] = st.w.Attrs(i)
 		snap.Removed[i] = st.w.IsRemoved(i)
 	}
-	for j := 0; j < st.w.NumQueries(); j++ {
-		if st.idx.SubdomainOf(j) == nil {
-			continue // removed from the index; compact it away
-		}
+	m := st.w.NumQueries()
+	snap.QueryID = make([]int, m)
+	snap.QueryK = make([]int, m)
+	snap.QueryPt = make([]vec.Vector, m)
+	snap.QueryRemoved = make([]bool, m)
+	for j := 0; j < m; j++ {
 		q := st.w.Query(j)
-		snap.QueryID = append(snap.QueryID, q.ID)
-		snap.QueryK = append(snap.QueryK, q.K)
-		snap.QueryPt = append(snap.QueryPt, q.Point)
+		snap.QueryID[j] = q.ID
+		snap.QueryK[j] = q.K
+		snap.QueryPt[j] = q.Point
+		snap.QueryRemoved[j] = st.w.IsQueryRemoved(j)
 	}
 	return gob.NewEncoder(w).Encode(snap)
 }
@@ -120,7 +135,7 @@ func Load(r io.Reader) (*System, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("iq: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < 1 || snap.Version > snapshotVersion {
 		return nil, fmt.Errorf("iq: unsupported snapshot version %d", snap.Version)
 	}
 	space, err := snap.Space.build()
@@ -144,5 +159,19 @@ func Load(r io.Reader) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Version ≥ 2 carries query tombstones: the index is built over every
+	// query slot (keeping indices stable) and removals are re-applied here,
+	// mirroring the runtime RemoveQuery path.
+	for j, removed := range snap.QueryRemoved {
+		if removed {
+			if err := idx.RemoveQuery(j); err != nil {
+				return nil, fmt.Errorf("iq: replaying query tombstone %d: %w", j, err)
+			}
+		}
+	}
+	// Drain the dirt from replaying tombstones: this index identity is
+	// brand-new, so there are no cache entries to migrate, and the first real
+	// mutation's dirty set must describe only that mutation.
+	idx.TakeDirty()
 	return newSystem(w, idx), nil
 }

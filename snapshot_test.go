@@ -2,6 +2,7 @@ package iq
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"strings"
 	"testing"
@@ -48,9 +49,21 @@ func TestSaveLoadRoundTripLinear(t *testing.T) {
 			}
 		}
 	}
-	// Removed query compacted.
-	if loaded.NumQueries() != sys.NumQueries()-1 {
-		t.Fatalf("queries %d vs %d-1", loaded.NumQueries(), sys.NumQueries())
+	// Query slots are preserved verbatim: same count, same IDs per index,
+	// with the removal carried as a tombstone rather than compacted away.
+	if loaded.NumQueries() != sys.NumQueries() {
+		t.Fatalf("queries %d vs %d", loaded.NumQueries(), sys.NumQueries())
+	}
+	for j := 0; j < sys.NumQueries(); j++ {
+		if got, want := loaded.Workload().Query(j).ID, sys.Workload().Query(j).ID; got != want {
+			t.Fatalf("query %d: ID %d vs %d — indices shifted across Save/Load", j, got, want)
+		}
+		if got, want := loaded.Workload().IsQueryRemoved(j), sys.Workload().IsQueryRemoved(j); got != want {
+			t.Fatalf("query %d: removed=%v vs %v", j, got, want)
+		}
+	}
+	if !loaded.Workload().IsQueryRemoved(7) {
+		t.Fatal("query tombstone lost on reload")
 	}
 	// Behaviour identical: hit counts agree for several targets.
 	for _, target := range []int{0, 5, 10} {
@@ -248,6 +261,93 @@ func TestSaveLoadExprCostAnswers(t *testing.T) {
 					t.Fatalf("target %d: MaxHit strategy differs at dim %d", target, d)
 				}
 			}
+		}
+	}
+}
+
+// TestLoadVersion1Compat pins backward compatibility: a version-1 snapshot
+// (no QueryRemoved vector; removed queries compacted out at save time) must
+// still load, with its queries occupying the compacted positions.
+func TestLoadVersion1Compat(t *testing.T) {
+	snap := snapshot{
+		Version: 1,
+		Space:   spaceSpec{Kind: "linear", Dim: 2},
+		Objects: []Vector{{0.2, 0.3}, {0.5, 0.1}, {0.4, 0.9}},
+		Removed: []bool{false, true, false},
+		QueryID: []int{10, 11},
+		QueryK:  []int{1, 2},
+		QueryPt: []Vector{{0.5, 0.5}, {0.8, 0.2}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumObjects() != 3 || sys.NumQueries() != 2 {
+		t.Fatalf("loaded %d objects / %d queries", sys.NumObjects(), sys.NumQueries())
+	}
+	if sys.Workload().Query(1).ID != 11 {
+		t.Fatal("v1 query order lost")
+	}
+	if _, err := sys.Hits(1); err == nil {
+		t.Fatal("v1 object tombstone lost")
+	}
+}
+
+// TestSnapshotRejectsFutureVersion keeps the version gate honest.
+func TestSnapshotRejectsFutureVersion(t *testing.T) {
+	snap := snapshot{Version: snapshotVersion + 1, Space: spaceSpec{Kind: "linear", Dim: 2}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("future snapshot version accepted")
+	}
+}
+
+// TestSaveLoadQueryIndexStability is the satellite regression test: a caller
+// holding a query index from before Save must address the same query after
+// Load, and mutations on the loaded System must behave exactly as on the
+// original — including RemoveQuery of a slot that sits after a tombstone.
+func TestSaveLoadQueryIndexStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := smallSystem(t, rng, 60, 30)
+	for _, j := range []int{4, 17, 22} {
+		if err := sys.RemoveQuery(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the same further query index on both sides must remove the
+	// same logical query.
+	if err := sys.RemoveQuery(23); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.RemoveQuery(23); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{0, 7, 19} {
+		h1, err := sys.Hits(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := loaded.Hits(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("target %d: hits diverged after post-load mutation: %d vs %d", target, h1, h2)
 		}
 	}
 }
