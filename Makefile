@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck
+.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
@@ -9,7 +9,7 @@ GO ?= go
 # live server to prove the exposition parses end to end. Every test run
 # carries an explicit -timeout so a hung solve fails fast with a goroutine
 # dump instead of stalling CI at the per-package default.
-check: build vet race stress metricscheck tracecheck benchcheck
+check: build vet race stress metricscheck tracecheck benchcheck crashcheck
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ tracecheck:
 # shared CI hardware). The full-scale report is BENCH_PR5.json.
 benchcheck:
 	./scripts/benchcheck.sh
+
+# crashcheck is the live kill -9 drill: boot an iqserver over a data
+# directory, murder it mid-commit while a sprayer is writing, restart over
+# the same directory, and require the exact acknowledged epoch and a
+# bit-identical reference solve (scripts/crashcheck.sh). The in-process
+# crash-injection property test covers every internal boundary; this proves
+# the deployed binary survives a real SIGKILL.
+crashcheck:
+	./scripts/crashcheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -39,6 +39,8 @@ func main() {
 		cacheCheck = flag.Bool("cache-check", false, "run the reduced-scale solve-cache A/B and exit non-zero on an allocation regression (the scripts/benchcheck.sh gate)")
 		writeO     = flag.String("write-json", "", "write the write-path benchmark report (post-mutation warm-solve latency and threshold-cache profile, dirty-set vs whole-epoch invalidation, by mutation locality) to this path and exit")
 		writeCheck = flag.Bool("write-check", false, "run the deterministic write-path gate and exit non-zero when a non-overlapping mutation cold-starts the warm path (the scripts/benchcheck.sh gate)")
+		walO       = flag.String("wal-json", "", "write the durability benchmark report (commit ns/op: in-memory vs WAL under each fsync policy, interleaved A/B) to this path and exit")
+		walCheck   = flag.Bool("wal-check", false, "run the reduced-scale durability A/B and exit non-zero when -fsync interval commits exceed 110% of the in-memory path (the scripts/benchcheck.sh gate)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,20 @@ func main() {
 	if *writeCheck {
 		if err := runWriteCheck(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "iqbench: -write-check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *walO != "" {
+		if err := runWALBench(*walO, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -wal-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *walCheck {
+		if err := runWALCheck(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -wal-check: %v\n", err)
 			os.Exit(1)
 		}
 		return

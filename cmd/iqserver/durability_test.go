@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"iq"
+)
+
+// iqVec builds a 3-d vector (the loadDataset dimensionality) with every
+// component v.
+func iqVec(v float64) iq.Vector { return iq.Vector{v, v, v} }
+
+// durableServer boots an api with a durable store at dir, waits for
+// recovery to finish, and serves it over httptest. The returned api is
+// exposed so tests can close the store (simulating shutdown) or inspect it.
+func durableServer(t *testing.T, dir string) (*httptest.Server, *server) {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	api := newServer(logger, defaultConfig())
+	exited := false
+	api.startRecovery(context.Background(), durabilityConfig{
+		dataDir: dir, fsync: "always",
+	}, logger, func(int) { exited = true })
+	deadline := time.Now().Add(10 * time.Second)
+	for api.recovering.Load() {
+		if exited {
+			t.Fatal("recovery failed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovery did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts := httptest.NewServer(api.handler())
+	t.Cleanup(ts.Close)
+	return ts, api
+}
+
+func getStats(t *testing.T, ts *httptest.Server) statsWire {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st statsWire
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServerDurableRestart is the in-process version of crashcheck.sh: load,
+// mutate, shut the store down, boot a second server over the same directory,
+// and require the exact epoch and an identical solve.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts1, api1 := durableServer(t, dir)
+	loadDataset(t, ts1, 60, 20)
+
+	resp, body := post(t, ts1.URL+"/v1/commit", strategyRequest{Target: 0, Strategy: iqVec(-0.02)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: %d %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts1.URL+"/v1/commit/batch", commitBatchRequest{Mutations: []mutationWire{
+		{Op: "commit", Target: 1, Strategy: iqVec(-0.01)},
+		{Op: "add_query", QueryID: 900, K: 4, Point: iqVec(0.4)},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit/batch: %d %s", resp.StatusCode, body)
+	}
+	pre := getStats(t, ts1)
+	if pre.Epoch != 2 {
+		t.Fatalf("pre-restart epoch %d, want 2", pre.Epoch)
+	}
+	solveReq := iqRequest{Target: 2, Tau: 3}
+	resp, preSolve := post(t, ts1.URL+"/v1/mincost", solveReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mincost: %d %s", resp.StatusCode, preSolve)
+	}
+	// Shutdown path: Close flushes; the second Open replays whatever the
+	// first process acknowledged.
+	api1.closeStore(api1.log)
+	ts1.Close()
+
+	ts2, _ := durableServer(t, dir)
+	if resp, err := http.Get(ts2.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after recovery: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	post2 := getStats(t, ts2)
+	if post2.Epoch != pre.Epoch || post2.Objects != pre.Objects || post2.Queries != pre.Queries {
+		t.Fatalf("recovered stats %+v, want %+v", post2, pre)
+	}
+	resp, postSolve := post(t, ts2.URL+"/v1/mincost", solveReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mincost after recovery: %d %s", resp.StatusCode, postSolve)
+	}
+	var a, b iqResponse
+	if err := json.Unmarshal(preSolve, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(postSolve, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Hits != b.Hits {
+		t.Fatalf("solve diverged across restart: %+v vs %+v", a, b)
+	}
+	for d := range a.Strategy {
+		if a.Strategy[d] != b.Strategy[d] {
+			t.Fatalf("strategy differs at dim %d", d)
+		}
+	}
+}
+
+// TestServerReadyzWhileRecovering pins the 503 contract: while replay is in
+// flight /readyz answers "recovering" and /v1/load is refused, so traffic
+// can neither land on nor clobber a half-recovered store.
+func TestServerReadyzWhileRecovering(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	api := newServer(logger, defaultConfig())
+	api.recovering.Store(true)
+	ts := httptest.NewServer(api.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while recovering: %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "recovering") {
+		t.Fatalf("readyz body %q should say recovering", body)
+	}
+	resp, body = post(t, ts.URL+"/v1/load", loadRequest{Objects: []iq.Vector{iqVec(0.1)}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("load while recovering: %d %s, want 503", resp.StatusCode, body)
+	}
+}
+
+// TestServerRecoveryFailureExits: a data dir that cannot be opened must kill
+// the process (via the injected exit), not silently serve an empty store.
+func TestServerRecoveryFailureExits(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	api := newServer(logger, defaultConfig())
+	exitCode := make(chan int, 1)
+	// A file where the directory should be: MkdirAll fails.
+	dir := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	api.startRecovery(context.Background(), durabilityConfig{
+		dataDir: filepath.Join(dir, "sub"), fsync: "always",
+	}, logger, func(code int) { exitCode <- code })
+	select {
+	case code := <-exitCode:
+		if code != 1 {
+			t.Fatalf("exit code %d, want 1", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recovery failure did not exit")
+	}
+}
+
+// TestServerInvalidFsyncPolicyExits: -fsync typos must be fatal at boot, not
+// ignored.
+func TestServerInvalidFsyncPolicyExits(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	api := newServer(logger, defaultConfig())
+	var code int
+	api.startRecovery(context.Background(), durabilityConfig{
+		dataDir: t.TempDir(), fsync: "sometimes",
+	}, logger, func(c int) { code = c })
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

@@ -284,7 +284,7 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newHTTPServer(cfg, logger)
+	srv, _ := newHTTPServer(cfg, logger)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
 	defer stop()
 	runDone := make(chan error, 1)

@@ -29,6 +29,7 @@ type appConfig struct {
 	debugTraces    bool
 	traceAll       bool
 	slowSolve      time.Duration
+	dur            durabilityConfig
 }
 
 // newLogger builds the process root logger: structured slog (JSON by
@@ -56,7 +57,7 @@ func newLogger(cfg appConfig) (*slog.Logger, error) {
 // The write timeout must outlast the longest admitted solve, so it is the
 // request timeout plus slack for serialisation; with no request timeout it
 // is unbounded (the operator opted out of deadlines entirely).
-func newHTTPServer(cfg appConfig, logger *slog.Logger) *http.Server {
+func newHTTPServer(cfg appConfig, logger *slog.Logger) (*http.Server, *server) {
 	api := newServer(logger, serverConfig{
 		requestTimeout: cfg.requestTimeout,
 		maxInflight:    cfg.maxInflight,
@@ -79,7 +80,7 @@ func newHTTPServer(cfg appConfig, logger *slog.Logger) *http.Server {
 		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
-	}
+	}, api
 }
 
 // run serves ln until ctx is cancelled (SIGINT/SIGTERM in production), then
@@ -131,6 +132,14 @@ func main() {
 		"capture a trace of every /v1 request without per-request opt-in (debugging sessions only)")
 	flag.DurationVar(&cfg.slowSolve, "slow-solve-threshold", 0,
 		"log completed solves slower than this at WARN with their work profile (0 disables)")
+	flag.StringVar(&cfg.dur.dataDir, "data-dir", "",
+		"directory for the mutation WAL and checkpoints; empty runs in-memory (mutations lost on exit)")
+	flag.StringVar(&cfg.dur.fsync, "fsync", "always",
+		"WAL fsync policy: always (fsync before every ack), interval (group commit on -fsync-interval), off (OS page cache only)")
+	flag.DurationVar(&cfg.dur.fsyncInterval, "fsync-interval", 50*time.Millisecond,
+		"group-commit window for -fsync interval: acknowledged writes may be lost within at most this window on power failure")
+	flag.DurationVar(&cfg.dur.checkpointEvery, "checkpoint-every", 5*time.Minute,
+		"background checkpoint cadence bounding WAL replay time after a crash (0 disables; only with -data-dir)")
 	flag.Parse()
 
 	logger, err := newLogger(cfg)
@@ -147,15 +156,25 @@ func main() {
 		logger.Error("listen failed", "addr", cfg.addr, "err", err)
 		os.Exit(1)
 	}
-	srv := newHTTPServer(cfg, logger)
+	srv, api := newHTTPServer(cfg, logger)
+	if cfg.dur.dataDir != "" {
+		// Recovery runs in the background: the listener is up (liveness
+		// probes answer) while /readyz reports 503 until replay completes.
+		api.startRecovery(ctx, cfg.dur, logger, osExit)
+	}
 	logger.Info("listening",
 		"addr", ln.Addr().String(),
 		"request_timeout", cfg.requestTimeout,
 		"max_inflight", cfg.maxInflight,
 		"max_body_bytes", cfg.maxBodyBytes,
 		"pprof", cfg.pprof,
+		"data_dir", cfg.dur.dataDir,
 	)
-	if err := run(ctx, srv, ln, cfg.drainTimeout, logger); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = run(ctx, srv, ln, cfg.drainTimeout, logger)
+	// Close after the drain: in-flight mutations have been acknowledged, so
+	// the final fsync makes every ack durable regardless of -fsync policy.
+	api.closeStore(logger)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("server failed", "err", err)
 		os.Exit(1)
 	}

@@ -51,6 +51,7 @@ import (
 	"net/http/pprof"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iq"
@@ -116,8 +117,14 @@ func defaultConfig() serverConfig {
 type server struct {
 	mu  sync.RWMutex
 	sys *iq.System
-	log *slog.Logger
-	cfg serverConfig
+	// store is the durable backing (-data-dir), nil in in-memory mode and
+	// while recovery is still replaying the WAL. Guarded by mu like sys.
+	store *iq.Store
+	// recovering is true from boot until WAL replay completes; /readyz
+	// answers 503 while it is set so load balancers hold traffic.
+	recovering atomic.Bool
+	log        *slog.Logger
+	cfg        serverConfig
 	// inflight is the admission semaphore for the solver endpoints; nil
 	// when admission is unlimited.
 	inflight chan struct{}
@@ -566,8 +573,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz reports readiness: the process is only useful once a dataset
 // is loaded, so load balancers should route solver traffic elsewhere until
-// then.
+// then. While WAL replay is in progress the answer is 503 "recovering" —
+// the state that will shortly be published must not be shadowed by an
+// accidental fresh /v1/load racing the recovery.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.recovering.Load() {
+		s.writeErr(w, http.StatusServiceUnavailable, errors.New("recovering: WAL replay in progress"))
+		return
+	}
 	if s.system() == nil {
 		s.writeErr(w, http.StatusServiceUnavailable, errors.New("no dataset loaded"))
 		return
@@ -593,7 +606,24 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.recovering.Load() {
+		// A fresh load mid-replay would start a new WAL generation and
+		// discard the state recovery is about to publish.
+		s.writeErr(w, http.StatusServiceUnavailable, errors.New("recovering: WAL replay in progress"))
+		return
+	}
 	s.mu.Lock()
+	if s.store != nil {
+		// Attach before publishing: the dataset starts its own WAL
+		// generation (checkpoint of the loaded state + empty log), so every
+		// subsequent mutation is durable from the first acknowledged write.
+		if err := s.store.Attach(r.Context(), sys); err != nil {
+			s.mu.Unlock()
+			s.writeErr(w, http.StatusInternalServerError,
+				fmt.Errorf("attaching dataset to durable store: %w", err))
+			return
+		}
+	}
 	s.sys = sys
 	s.mu.Unlock()
 	s.log.InfoContext(r.Context(), "dataset loaded",

@@ -1,0 +1,396 @@
+package wal
+
+// Recovery-side reading: scanning segments frame by frame, truncating torn
+// or corrupt tails, assembling records into transactions, and the verify /
+// dump surfaces iqtool exposes to operators.
+//
+// The invariants the reader enforces:
+//
+//   - A corrupt frame (short header, declared length past EOF or over
+//     MaxRecordLen, CRC mismatch) in the LAST segment is a torn tail: the
+//     file is truncated at the frame's offset, the event is logged and
+//     counted, and replay ends there. In any earlier segment the same
+//     condition is real corruption — rotation fsyncs a segment before
+//     retiring it, so its tail can never be legitimately torn — and replay
+//     fails rather than silently dropping acknowledged history.
+//   - A transaction whose End marker is missing at the tail of the last
+//     segment is rolled back whole: the file is truncated at its Begin
+//     record. Mid-stream framing violations are corruption.
+//   - Epochs must advance by exactly one per transaction once past the
+//     checkpoint's epoch; a gap means a segment went missing and recovery
+//     refuses to fabricate state.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"iq/internal/obs"
+)
+
+// Metrics for the recovery path.
+var (
+	mTruncatedRecords = obs.Default.Counter("iq_recovery_truncated_records_total",
+		"Torn or corrupt WAL tail records truncated during recovery.")
+	mTruncatedBytes = obs.Default.Counter("iq_recovery_truncated_bytes_total",
+		"Bytes cut from the WAL tail during recovery.")
+	mRolledBack = obs.Default.Counter("iq_recovery_rolled_back_txns_total",
+		"Mid-transaction WAL tails rolled back whole during recovery.")
+	mReplayedRecords = obs.Default.Counter("iq_recovery_replayed_records_total",
+		"WAL records replayed during recovery.")
+)
+
+// ScanRecord is one decoded frame plus its location.
+type ScanRecord struct {
+	Seq    uint64
+	Offset int64
+	Epoch  uint64
+	Kind   Kind
+	Body   []byte
+	// Len is the frame's total on-disk size (header + payload).
+	Len int
+}
+
+// Corruption describes the first invalid byte range of a segment.
+type Corruption struct {
+	Path   string
+	Offset int64 // where the corrupt frame starts
+	Reason string
+}
+
+func (c *Corruption) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt at offset %d: %s", c.Path, c.Offset, c.Reason)
+}
+
+// ReadSegment parses one segment. It returns every valid record up to the
+// first invalid frame; if the segment is not clean to EOF, the returned
+// *Corruption says where and why (a nil Corruption means the whole file
+// parsed). I/O errors are returned as err.
+func ReadSegment(ref SegmentRef) ([]ScanRecord, *Corruption, error) {
+	data, err := os.ReadFile(ref.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < headerLen {
+		return nil, &Corruption{Path: ref.Path, Offset: 0, Reason: "segment shorter than header"}, nil
+	}
+	if string(data[:8]) != string(segMagic[:]) {
+		return nil, &Corruption{Path: ref.Path, Offset: 0, Reason: "bad segment magic"}, nil
+	}
+	if g := binary.LittleEndian.Uint64(data[8:16]); g != ref.Gen {
+		return nil, &Corruption{Path: ref.Path, Offset: 0,
+			Reason: fmt.Sprintf("header generation %d does not match file name %d", g, ref.Gen)}, nil
+	}
+	if s := binary.LittleEndian.Uint64(data[16:24]); s != ref.Seq {
+		return nil, &Corruption{Path: ref.Path, Offset: 0,
+			Reason: fmt.Sprintf("header sequence %d does not match file name %d", s, ref.Seq)}, nil
+	}
+	var out []ScanRecord
+	off := int64(headerLen)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return out, &Corruption{Path: ref.Path, Offset: off, Reason: "torn frame header"}, nil
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		if plen < payloadPrefixLen || plen > MaxRecordLen {
+			return out, &Corruption{Path: ref.Path, Offset: off,
+				Reason: fmt.Sprintf("absurd payload length %d", plen)}, nil
+		}
+		if int64(len(rest)) < frameHeaderLen+int64(plen) {
+			return out, &Corruption{Path: ref.Path, Offset: off, Reason: "torn payload"}, nil
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(plen)]
+		if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(rest[4:8]) {
+			return out, &Corruption{Path: ref.Path, Offset: off, Reason: "CRC32C mismatch"}, nil
+		}
+		out = append(out, ScanRecord{
+			Seq:    ref.Seq,
+			Offset: off,
+			Epoch:  binary.BigEndian.Uint64(payload[1:9]),
+			Kind:   Kind(payload[0]),
+			Body:   append([]byte(nil), payload[payloadPrefixLen:]...),
+			Len:    frameHeaderLen + int(plen),
+		})
+		off += frameHeaderLen + int64(plen)
+	}
+	return out, nil, nil
+}
+
+// Txn is one committed transaction assembled from the log: a single
+// standalone mutation record, or the mutation records between a Begin/End
+// pair. Epoch is the post-mutation epoch the whole transaction publishes.
+type Txn struct {
+	Epoch     uint64
+	Mutations [][]byte
+	Batch     bool
+}
+
+// ReplayStats summarises one recovery pass.
+type ReplayStats struct {
+	Segments         int
+	Records          int
+	Txns             int
+	SkippedTxns      int // already covered by the checkpoint
+	TruncatedBytes   int64
+	TruncatedRecords int
+	RolledBackTxns   int
+}
+
+// Replay reads generation gen's segments in order and calls fn once per
+// committed transaction with epoch > after, in epoch order. Torn or corrupt
+// tails of the final segment are physically truncated (so a subsequent
+// OpenForAppend continues after the last valid record), logged, and counted;
+// the same damage in an earlier segment is a fatal error. fn returning an
+// error aborts the replay.
+func Replay(dir string, gen, after uint64, opts Options, fn func(Txn) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := ListSegments(dir, gen)
+	if err != nil {
+		return stats, err
+	}
+	stats.Segments = len(segs)
+	log := opts.logger()
+
+	// truncate cuts the damaged tail off the (always final) segment.
+	truncate := func(ref SegmentRef, at int64, reason string, records int) error {
+		fi, err := os.Stat(ref.Path)
+		if err != nil {
+			return err
+		}
+		cut := fi.Size() - at
+		if err := os.Truncate(ref.Path, at); err != nil {
+			return fmt.Errorf("wal: truncating corrupt tail of %s: %w", ref.Path, err)
+		}
+		log.Warn("wal: truncated corrupt tail",
+			"segment", ref.Path, "offset", at, "bytes", cut, "reason", reason)
+		stats.TruncatedBytes += cut
+		stats.TruncatedRecords += records
+		mTruncatedBytes.Add(cut)
+		mTruncatedRecords.Add(int64(max(records, 1)))
+		return nil
+	}
+
+	// Transaction assembly state, never spanning segments (rotation holds
+	// the engine's writer lock).
+	var pending *Txn
+	var pendingWant int
+	var pendingStart int64 // Begin record's offset, for rollback
+	lastEpoch := after
+
+	emit := func(t Txn) error {
+		if t.Epoch <= after {
+			stats.SkippedTxns++
+			return nil
+		}
+		if t.Epoch != lastEpoch+1 {
+			return fmt.Errorf("wal: epoch gap: transaction %d follows %d (checkpoint at %d)",
+				t.Epoch, lastEpoch, after)
+		}
+		lastEpoch = t.Epoch
+		stats.Txns++
+		return fn(t)
+	}
+
+	for i, ref := range segs {
+		final := i == len(segs)-1
+		recs, corrupt, err := ReadSegment(ref)
+		if err != nil {
+			return stats, err
+		}
+		if corrupt != nil && !final {
+			return stats, corrupt
+		}
+		pending, pendingWant, pendingStart = nil, 0, 0
+		for _, r := range recs {
+			stats.Records++
+			mReplayedRecords.Inc()
+			switch r.Kind {
+			case KindBegin:
+				if pending != nil {
+					return stats, &Corruption{Path: ref.Path, Offset: r.Offset,
+						Reason: "nested transaction begin"}
+				}
+				if len(r.Body) != 4 {
+					return stats, &Corruption{Path: ref.Path, Offset: r.Offset,
+						Reason: "malformed begin body"}
+				}
+				pending = &Txn{Epoch: r.Epoch, Batch: true}
+				pendingWant = int(binary.BigEndian.Uint32(r.Body))
+				pendingStart = r.Offset
+			case KindMutation:
+				if pending != nil {
+					if r.Epoch != pending.Epoch {
+						return stats, &Corruption{Path: ref.Path, Offset: r.Offset,
+							Reason: "mutation epoch differs from its transaction"}
+					}
+					pending.Mutations = append(pending.Mutations, r.Body)
+				} else {
+					if err := emit(Txn{Epoch: r.Epoch, Mutations: [][]byte{r.Body}}); err != nil {
+						return stats, err
+					}
+				}
+			case KindEnd:
+				if pending == nil || len(pending.Mutations) != pendingWant || r.Epoch != pending.Epoch {
+					return stats, &Corruption{Path: ref.Path, Offset: r.Offset,
+						Reason: "transaction end without matching begin"}
+				}
+				t := *pending
+				pending, pendingWant = nil, 0
+				if err := emit(t); err != nil {
+					return stats, err
+				}
+			default:
+				return stats, &Corruption{Path: ref.Path, Offset: r.Offset,
+					Reason: fmt.Sprintf("unknown record kind %d", r.Kind)}
+			}
+		}
+		switch {
+		case corrupt != nil:
+			// Final segment with a damaged tail. Roll back any half-framed
+			// transaction along with the damage: everything from the Begin
+			// record (or the corrupt frame, whichever is earlier) goes.
+			at := corrupt.Offset
+			dropped := 1
+			if pending != nil {
+				at = pendingStart
+				dropped += len(pending.Mutations) + 1
+				stats.RolledBackTxns++
+				mRolledBack.Inc()
+				log.Warn("wal: rolling back mid-transaction tail",
+					"segment", ref.Path, "epoch", pending.Epoch)
+				pending = nil
+			}
+			if err := truncate(ref, at, corrupt.Reason, dropped); err != nil {
+				return stats, err
+			}
+		case pending != nil:
+			if !final {
+				return stats, &Corruption{Path: ref.Path, Offset: pendingStart,
+					Reason: "transaction spans segment boundary"}
+			}
+			// Clean EOF mid-transaction: the process died between the batch's
+			// records and its End marker. Roll the whole batch back.
+			stats.RolledBackTxns++
+			mRolledBack.Inc()
+			log.Warn("wal: rolling back mid-transaction tail",
+				"segment", ref.Path, "epoch", pending.Epoch)
+			if err := truncate(ref, pendingStart, "transaction missing its end marker",
+				len(pending.Mutations)+1); err != nil {
+				return stats, err
+			}
+			pending = nil
+		}
+	}
+	return stats, nil
+}
+
+// Verify scans every segment of every generation strictly: any torn tail,
+// CRC failure, framing violation, or epoch gap is an error. It is the
+// iqtool -wal-verify backend; recovery itself uses Replay, which forgives
+// (and truncates) final-segment damage.
+func Verify(dir string) error {
+	gens, err := Generations(dir)
+	if err != nil {
+		return err
+	}
+	for _, gen := range gens {
+		segs, err := ListSegments(dir, gen)
+		if err != nil {
+			return err
+		}
+		var pending int // outstanding transaction records wanted
+		var epoch uint64
+		first := true
+		for _, ref := range segs {
+			recs, corrupt, err := ReadSegment(ref)
+			if err != nil {
+				return err
+			}
+			if corrupt != nil {
+				return corrupt
+			}
+			if pending != 0 {
+				return fmt.Errorf("wal: %s: previous segment ended mid-transaction", ref.Path)
+			}
+			for _, r := range recs {
+				switch r.Kind {
+				case KindBegin:
+					if pending != 0 || len(r.Body) != 4 {
+						return &Corruption{Path: ref.Path, Offset: r.Offset, Reason: "malformed begin"}
+					}
+					pending = int(binary.BigEndian.Uint32(r.Body)) + 1 // mutations + end
+				case KindMutation:
+					if pending > 1 {
+						pending--
+					} else if pending == 1 {
+						return &Corruption{Path: ref.Path, Offset: r.Offset, Reason: "excess mutation in transaction"}
+					}
+				case KindEnd:
+					if pending != 1 {
+						return &Corruption{Path: ref.Path, Offset: r.Offset, Reason: "end without begin"}
+					}
+					pending = 0
+				default:
+					return &Corruption{Path: ref.Path, Offset: r.Offset,
+						Reason: fmt.Sprintf("unknown record kind %d", r.Kind)}
+				}
+				if r.Kind == KindMutation && pending == 0 || r.Kind == KindEnd {
+					// Transaction boundary: epochs must be strictly increasing.
+					if !first && r.Epoch <= epoch {
+						return &Corruption{Path: ref.Path, Offset: r.Offset,
+							Reason: fmt.Sprintf("epoch %d not increasing past %d", r.Epoch, epoch)}
+					}
+					epoch, first = r.Epoch, false
+				}
+			}
+		}
+		if pending != 0 && len(segs) > 0 {
+			return fmt.Errorf("wal: generation %d ends mid-transaction", gen)
+		}
+	}
+	return nil
+}
+
+// DumpRecord is one line of a human-readable log listing.
+type DumpRecord struct {
+	Segment SegmentRef
+	Record  ScanRecord
+	// Detail is the caller-rendered payload description (op name etc.).
+	Detail string
+}
+
+// Dump walks every record of every generation in order, calling fn for each
+// valid record and, at the end of a damaged segment, calling bad with the
+// corruption. decode renders a record body for display. Unlike Verify it
+// keeps going across generations so an operator sees everything on disk.
+func Dump(dir string, decode func(ScanRecord) string, fn func(DumpRecord), bad func(SegmentRef, *Corruption)) error {
+	gens, err := Generations(dir)
+	if err != nil {
+		return err
+	}
+	for _, gen := range gens {
+		segs, err := ListSegments(dir, gen)
+		if err != nil {
+			return err
+		}
+		for _, ref := range segs {
+			recs, corrupt, err := ReadSegment(ref)
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				d := DumpRecord{Segment: ref, Record: r}
+				if decode != nil {
+					d.Detail = decode(r)
+				}
+				fn(d)
+			}
+			if corrupt != nil && bad != nil {
+				bad(ref, corrupt)
+			}
+		}
+	}
+	return nil
+}

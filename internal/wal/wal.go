@@ -1,0 +1,639 @@
+// Package wal is the engine's write-ahead log: an append-only, CRC32C-framed,
+// length-prefixed record log of every mutation, written before the mutation's
+// epoch is published. A crashed or restarting process replays the log tail on
+// top of the newest checkpoint and lands on the exact pre-crash epoch instead
+// of rebuilding from nothing.
+//
+// On-disk layout (one data directory, shared with the checkpoint files the iq
+// package manages):
+//
+//	wal-<gen>-<seq>.log
+//
+// where <gen> and <seq> are zero-padded hexadecimal. A generation is one
+// dataset lifetime: loading a fresh dataset starts generation g+1 and
+// obsoletes every file of generation g. Within a generation, segments are
+// numbered by <seq>; a checkpoint rotates to a new segment so the old ones
+// can be deleted once the checkpoint is durable.
+//
+// Each segment starts with a 24-byte header (magic, generation, sequence)
+// followed by frames:
+//
+//	| len uint32 | crc32c uint32 | payload (len bytes) |
+//
+// The CRC (Castagnoli polynomial) covers the payload, which is one byte of
+// record kind, eight bytes of big-endian epoch, and the record body. A torn
+// or bit-flipped tail therefore fails the length or CRC check and is
+// truncated on recovery — never replayed, never panicked over.
+//
+// Record kinds: a single mutation is one KindMutation record, implicitly
+// committed once fully on disk. A multi-mutation batch is framed as
+// KindBegin (body: mutation count), the mutation records, then KindEnd — the
+// commit marker. Recovery rolls back a batch whose KindEnd never made it.
+//
+// Durability is governed by Policy: SyncAlways fsyncs before an append
+// returns (group-committed: concurrent waiters share one fsync), SyncInterval
+// fsyncs on a background ticker (group commit across the interval — the
+// write path stays at in-memory speed and a crash loses at most the last
+// interval), SyncOff leaves flushing to the OS.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iq/internal/obs"
+)
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy int
+
+const (
+	// SyncAlways fsyncs before every append returns. Group-committed:
+	// concurrent appenders waiting on the same fsync share it.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a background ticker. Appends return after the
+	// buffered write; a crash loses at most the records of the last interval.
+	SyncInterval
+	// SyncOff never fsyncs; the OS flushes when it pleases. A process crash
+	// (kill -9) still loses nothing — written bytes survive in the page
+	// cache — but a power loss can lose or tear the unflushed tail.
+	SyncOff
+)
+
+// ParsePolicy maps the -fsync flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+	}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Kind tags one record's role in the log.
+type Kind uint8
+
+const (
+	// KindMutation is one logged mutation; standalone records are implicitly
+	// committed, records between Begin/End commit only with their End.
+	KindMutation Kind = 1
+	// KindBegin opens a multi-record transaction; its body is the big-endian
+	// uint32 count of mutation records that follow.
+	KindBegin Kind = 2
+	// KindEnd is the transaction commit marker.
+	KindEnd Kind = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMutation:
+		return "mutation"
+	case KindBegin:
+		return "begin"
+	case KindEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one logical log entry: the post-mutation epoch it belongs to and
+// an opaque body the caller encodes/decodes.
+type Record struct {
+	Epoch uint64
+	Kind  Kind
+	Body  []byte
+}
+
+const (
+	// headerLen is the segment header: 8 bytes magic, 8 bytes generation,
+	// 8 bytes sequence.
+	headerLen = 24
+	// frameHeaderLen prefixes every record: 4 bytes payload length, 4 bytes
+	// CRC32C of the payload.
+	frameHeaderLen = 8
+	// payloadPrefixLen leads every payload: 1 byte kind, 8 bytes epoch.
+	payloadPrefixLen = 9
+	// MaxRecordLen caps one record's payload. A declared length above it is
+	// treated as corruption, bounding what a hostile or bit-flipped length
+	// field can make the reader allocate.
+	MaxRecordLen = 64 << 20
+)
+
+var segMagic = [8]byte{'I', 'Q', 'W', 'A', 'L', 0, 0, 1}
+
+// castagnoli is the CRC32C table (iSCSI polynomial), hardware-accelerated on
+// amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed (or aborted) log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Metrics, process-global like the rest of the obs registry.
+var (
+	mAppends = obs.Default.Counter("iq_wal_appends_total",
+		"Transactions appended to the write-ahead log.")
+	mRecords = obs.Default.Counter("iq_wal_records_total",
+		"Records appended to the write-ahead log.")
+	mBytes = obs.Default.Counter("iq_wal_bytes_written_total",
+		"Bytes appended to the write-ahead log.")
+	mFsyncs = obs.Default.Counter("iq_wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log.")
+	mRotations = obs.Default.Counter("iq_wal_rotations_total",
+		"Segment rotations (one per checkpoint).")
+)
+
+// Options configures a Log.
+type Options struct {
+	// Policy selects the fsync discipline; the zero value is SyncAlways.
+	Policy Policy
+	// Interval is the SyncInterval ticker period; 0 means 100ms.
+	Interval time.Duration
+	// Logger receives WARN lines for recovery truncations and background
+	// fsync failures; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.Default()
+}
+
+func (o Options) interval() time.Duration {
+	if o.Interval > 0 {
+		return o.Interval
+	}
+	return 100 * time.Millisecond
+}
+
+// Log is an open write-ahead log: one active segment file accepting appends.
+// Append/Sync/Rotate are safe for concurrent use; the engine additionally
+// serialises mutators, so in practice appends arrive one at a time and group
+// commit matters for the fsync cohort only.
+type Log struct {
+	dir  string
+	gen  uint64
+	opts Options
+
+	mu     sync.Mutex // guards f, seq, size, closed, stop
+	f      *os.File
+	seq    uint64
+	size   int64
+	closed bool
+	stop   chan struct{} // interval ticker shutdown; nil unless SyncInterval
+
+	// fsync cohort state: written/synced are monotone byte counts across
+	// segment rotations; a durability waiter needs synced >= its write point
+	// and piggybacks on whichever fsync gets there first.
+	syncMu  sync.Mutex
+	syncing bool
+	written int64
+	synced  int64
+	done    *sync.Cond
+
+	// stickyErr latches the first background fsync failure: once the log
+	// cannot promise durability, every subsequent append must fail loudly
+	// rather than silently acknowledge undurable writes.
+	stickyMu  sync.Mutex
+	stickyErr error
+}
+
+// Create starts generation gen with a fresh segment 0 in dir. The directory
+// must exist.
+func Create(dir string, gen uint64, opts Options) (*Log, error) {
+	l := &Log{dir: dir, gen: gen, opts: opts}
+	l.done = sync.NewCond(&l.syncMu)
+	if err := l.openSegment(0); err != nil {
+		return nil, err
+	}
+	l.startTicker()
+	return l, nil
+}
+
+// OpenForAppend resumes appending to generation gen: the highest-numbered
+// existing segment is opened at its current (post-recovery-truncation) size,
+// or a fresh next segment is created when none is usable. Callers run Replay
+// first so the tail is already truncated to the last valid record.
+func OpenForAppend(dir string, gen uint64, opts Options) (*Log, error) {
+	l := &Log{dir: dir, gen: gen, opts: opts}
+	l.done = sync.NewCond(&l.syncMu)
+	segs, err := ListSegments(dir, gen)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(0); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		fi, err := os.Stat(last.Path)
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() < headerLen {
+			// The segment never got a full header (crash during rotation, or
+			// recovery truncated a corrupt header to zero). Start the next
+			// sequence number instead of appending after garbage.
+			if err := l.openSegment(last.Seq + 1); err != nil {
+				return nil, err
+			}
+		} else {
+			f, err := os.OpenFile(last.Path, os.O_WRONLY, 0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := f.Seek(0, 2); err != nil {
+				f.Close()
+				return nil, err
+			}
+			l.f, l.seq, l.size = f, last.Seq, fi.Size()
+		}
+	}
+	l.startTicker()
+	return l, nil
+}
+
+// SegmentName returns the file name of generation gen, sequence seq.
+func SegmentName(gen, seq uint64) string {
+	return fmt.Sprintf("wal-%016x-%016x.log", gen, seq)
+}
+
+func (l *Log) openSegment(seq uint64) error {
+	path := filepath.Join(l.dir, SegmentName(l.gen, seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], l.gen)
+	binary.LittleEndian.PutUint64(hdr[16:24], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.seq, l.size = f, seq, headerLen
+	return nil
+}
+
+func (l *Log) startTicker() {
+	if l.opts.Policy != SyncInterval {
+		return
+	}
+	l.stop = make(chan struct{})
+	go func(stop chan struct{}) {
+		t := time.NewTicker(l.opts.interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := l.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+					l.opts.logger().Warn("wal: background fsync failed", "err", err)
+					l.poison(err)
+				}
+			}
+		}
+	}(l.stop)
+}
+
+// poison latches err so future appends fail instead of acknowledging writes
+// the log can no longer promise to keep.
+func (l *Log) poison(err error) {
+	l.stickyMu.Lock()
+	if l.stickyErr == nil {
+		l.stickyErr = err
+	}
+	l.stickyMu.Unlock()
+}
+
+func (l *Log) sticky() error {
+	l.stickyMu.Lock()
+	defer l.stickyMu.Unlock()
+	return l.stickyErr
+}
+
+// frame serialises one record as length | crc | payload.
+func frame(rec Record) (header [frameHeaderLen]byte, payload []byte) {
+	payload = make([]byte, payloadPrefixLen+len(rec.Body))
+	payload[0] = byte(rec.Kind)
+	binary.BigEndian.PutUint64(payload[1:9], rec.Epoch)
+	copy(payload[payloadPrefixLen:], rec.Body)
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, castagnoli))
+	return header, payload
+}
+
+// Append writes recs as one transaction — for a batch the caller includes
+// the Begin/End markers — and, under SyncAlways, blocks until they are
+// fsynced. The frame header and payload are written separately so the
+// crash-injection hook can tear a record in half at the "append:torn"
+// boundary, exactly like a power cut mid-write.
+func (l *Log) Append(recs []Record) error {
+	if err := l.sticky(); err != nil {
+		return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", err)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	var wrote int64
+	for _, rec := range recs {
+		if err := fireCrash("append:record"); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		hdr, payload := frame(rec)
+		if _, err := l.f.Write(hdr[:]); err != nil {
+			l.poison(err)
+			l.mu.Unlock()
+			return err
+		}
+		if err := fireCrash("append:torn"); err != nil {
+			// The frame header is on disk without its payload: a torn
+			// record, indistinguishable from a crash between the two writes.
+			l.size += frameHeaderLen
+			l.mu.Unlock()
+			return err
+		}
+		if _, err := l.f.Write(payload); err != nil {
+			l.poison(err)
+			l.mu.Unlock()
+			return err
+		}
+		wrote += frameHeaderLen + int64(len(payload))
+		l.size += frameHeaderLen + int64(len(payload))
+	}
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	l.written += wrote
+	point := l.written
+	l.syncMu.Unlock()
+
+	mAppends.Inc()
+	mRecords.Add(int64(len(recs)))
+	mBytes.Add(wrote)
+
+	if err := fireCrash("append:commit"); err != nil {
+		return err
+	}
+	if l.opts.Policy == SyncAlways {
+		return l.syncTo(point)
+	}
+	return nil
+}
+
+// Sync fsyncs the active segment, making every append so far durable.
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	point := l.written
+	l.syncMu.Unlock()
+	return l.syncTo(point)
+}
+
+// syncTo blocks until at least point bytes of appends are fsynced. Waiters
+// form a group-commit cohort: if an fsync is already in flight, they wait for
+// it and re-check; the first waiter it doesn't cover issues the next fsync,
+// which covers everything written up to that moment — one disk flush settles
+// any number of pending appends.
+func (l *Log) syncTo(point int64) error {
+	l.syncMu.Lock()
+	for l.synced < point {
+		if l.syncing {
+			l.done.Wait()
+			continue
+		}
+		l.syncing = true
+		target := l.written
+		l.syncMu.Unlock()
+
+		err := l.syncFile()
+
+		l.syncMu.Lock()
+		l.syncing = false
+		if err == nil {
+			l.synced = target
+		}
+		l.done.Broadcast()
+		if err != nil {
+			l.syncMu.Unlock()
+			l.poison(err)
+			return err
+		}
+	}
+	l.syncMu.Unlock()
+	return nil
+}
+
+func (l *Log) syncFile() error {
+	if err := fireCrash("sync"); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	f, closed := l.f, l.closed
+	l.mu.Unlock()
+	if closed || f == nil {
+		return ErrClosed
+	}
+	mFsyncs.Inc()
+	return f.Sync()
+}
+
+// Rotate fsyncs and closes the active segment and opens the next one. The
+// caller (the checkpointer) holds the engine's writer lock across the call,
+// so no transaction ever spans two segments.
+func (l *Log) Rotate() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := fireCrash("rotate"); err != nil {
+		return err
+	}
+	old := l.f
+	if err := l.openSegment(l.seq + 1); err != nil {
+		// The old segment stays active; rotation is retryable.
+		l.f = old
+		return err
+	}
+	old.Close()
+	mRotations.Inc()
+	return nil
+}
+
+// ActiveSegment returns the sequence number of the segment currently
+// accepting appends.
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Generation returns the log's dataset generation.
+func (l *Log) Generation() uint64 { return l.gen }
+
+// Close fsyncs and closes the log. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	err := l.Sync()
+	l.shutdown()
+	if cerr := l.closeFile(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// Abort closes the log WITHOUT a final fsync — the file is left exactly as
+// written, like a process killed mid-flight. The crash tests use it to
+// model kill -9; production code calls Close.
+func (l *Log) Abort() {
+	l.shutdown()
+	l.closeFile()
+}
+
+func (l *Log) shutdown() {
+	l.mu.Lock()
+	if l.stop != nil {
+		close(l.stop)
+		l.stop = nil
+	}
+	l.mu.Unlock()
+}
+
+func (l *Log) closeFile() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if l.f != nil {
+		return l.f.Close()
+	}
+	return nil
+}
+
+// SegmentRef locates one on-disk segment.
+type SegmentRef struct {
+	Path string
+	Gen  uint64
+	Seq  uint64
+}
+
+// parseSegmentName extracts (gen, seq) from a wal-<gen>-<seq>.log name.
+func parseSegmentName(name string) (gen, seq uint64, ok bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	var g, s uint64
+	if _, err := fmt.Sscanf(mid, "%016x-%016x", &g, &s); err != nil {
+		return 0, 0, false
+	}
+	return g, s, true
+}
+
+// ListSegments returns generation gen's segments sorted by sequence.
+func ListSegments(dir string, gen uint64) ([]SegmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []SegmentRef
+	for _, e := range entries {
+		if g, s, ok := parseSegmentName(e.Name()); ok && g == gen {
+			out = append(out, SegmentRef{Path: filepath.Join(dir, e.Name()), Gen: g, Seq: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Generations returns every generation present in dir, ascending.
+func Generations(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[uint64]bool{}
+	for _, e := range entries {
+		if g, _, ok := parseSegmentName(e.Name()); ok {
+			seen[g] = true
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// RemoveGeneration deletes every segment of generation gen.
+func RemoveGeneration(dir string, gen uint64) error {
+	segs, err := ListSegments(dir, gen)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := os.Remove(s.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveSegmentsBelow deletes generation gen's segments with Seq < keep —
+// the checkpoint's truncation of the log prefix it made obsolete.
+func RemoveSegmentsBelow(dir string, gen, keep uint64) error {
+	segs, err := ListSegments(dir, gen)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.Seq < keep {
+			if err := os.Remove(s.Path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -229,6 +229,17 @@ type System struct {
 	// mu serialises writers; readers never take it.
 	mu  sync.Mutex
 	cur atomic.Pointer[state]
+	// dur, when non-nil, receives every committed transaction before it is
+	// published — the write-ahead contract behind crash recovery. Attached by
+	// a Store (see durability.go) under mu; nil for in-memory Systems.
+	dur durabilitySink
+}
+
+// durabilitySink is the engine side of the WAL contract: logTxn must make
+// the transaction durable (per the configured fsync policy) before the
+// epoch publishes, or fail the whole mutation.
+type durabilitySink interface {
+	logTxn(ctx context.Context, epoch uint64, muts []Mutation) error
 }
 
 // state is one immutable epoch: a workload/index pair that is never mutated
@@ -253,9 +264,10 @@ func newSystem(w *topk.Workload, idx *subdomain.Index) *System {
 // mutate runs fn against a private clone of the current epoch under the
 // writer lock and publishes the clone when fn succeeds. On error the clone
 // is discarded and the visible state is unchanged — failed writes are
-// all-or-nothing.
-func (s *System) mutate(fn func(st *state) error) error {
-	return s.mutateCtx(context.Background(), fn)
+// all-or-nothing. muts is the logical description of the write, handed to
+// the durability sink (if attached) before publication.
+func (s *System) mutate(muts []Mutation, fn func(st *state) error) error {
+	return s.mutateCtx(context.Background(), muts, fn)
 }
 
 // mutateCtx is mutate under a context so write operations record their
@@ -269,7 +281,14 @@ func (s *System) mutate(fn func(st *state) error) error {
 // and its dirty set together: cancellation is re-checked at the
 // MutationCheckpoint after fn, so a cancelled mutation never publishes a
 // partially merged dirty set or migrated cache state.
-func (s *System) mutateCtx(ctx context.Context, fn func(st *state) error) error {
+//
+// When a durability sink is attached, the transaction is appended to the
+// WAL — stamped with the post-mutation epoch — after fn succeeds and before
+// the clone publishes. A WAL failure therefore aborts the mutation: the
+// caller never gets an acknowledged write the log does not hold, and the
+// log never holds an epoch no reader observed only if the process dies
+// between append and publish — exactly the window crash recovery replays.
+func (s *System) mutateCtx(ctx context.Context, muts []Mutation, fn func(st *state) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
@@ -280,6 +299,11 @@ func (s *System) mutateCtx(ctx context.Context, fn func(st *state) error) error 
 	}
 	if err := core.MutationCheckpoint(ctx, -1); err != nil {
 		return err
+	}
+	if s.dur != nil && len(muts) > 0 {
+		if err := s.dur.logTxn(ctx, next.epoch, muts); err != nil {
+			return err
+		}
 	}
 	core.MigrateSolveCaches(old.idx, next.idx, next.idx.TakeDirty())
 	s.cur.Store(next)
@@ -535,7 +559,8 @@ func (s *System) Commit(target int, strategy Vector) error {
 // CommitCtx is Commit under a context; the index clone and repartition work
 // record spans when the context carries a trace.
 func (s *System) CommitCtx(ctx context.Context, target int, strategy Vector) error {
-	return s.mutateCtx(ctx, func(st *state) error {
+	muts := []Mutation{{Commit: &CommitMutation{Target: target, Strategy: strategy}}}
+	return s.mutateCtx(ctx, muts, func(st *state) error {
 		if err := checkStrategy(st.w, target, strategy); err != nil {
 			return err
 		}
@@ -553,7 +578,8 @@ func (s *System) CommitAndCount(target int, strategy Vector) (int, error) {
 // match CommitCtx.
 func (s *System) CommitAndCountCtx(ctx context.Context, target int, strategy Vector) (int, error) {
 	hits := 0
-	err := s.mutateCtx(ctx, func(st *state) error {
+	muts := []Mutation{{Commit: &CommitMutation{Target: target, Strategy: strategy}}}
+	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		if err := checkStrategy(st.w, target, strategy); err != nil {
 			return err
 		}
@@ -579,7 +605,8 @@ func (s *System) AddObject(attrs Vector) (int, error) {
 // CommitCtx.
 func (s *System) AddObjectCtx(ctx context.Context, attrs Vector) (int, error) {
 	id := 0
-	err := s.mutateCtx(ctx, func(st *state) error {
+	muts := []Mutation{{AddObject: &AddObjectMutation{Attrs: attrs}}}
+	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		var err error
 		id, err = st.idx.AddObjectCtx(ctx, attrs)
 		return err
@@ -595,7 +622,8 @@ func (s *System) RemoveObject(id int) error {
 // RemoveObjectCtx is RemoveObject under a context; tracing semantics match
 // CommitCtx.
 func (s *System) RemoveObjectCtx(ctx context.Context, id int) error {
-	return s.mutateCtx(ctx, func(st *state) error { return st.idx.RemoveObjectCtx(ctx, id) })
+	muts := []Mutation{{RemoveObject: &RemoveObjectMutation{ID: id}}}
+	return s.mutateCtx(ctx, muts, func(st *state) error { return st.idx.RemoveObjectCtx(ctx, id) })
 }
 
 // AddQuery inserts a new top-k query and returns its index.
@@ -607,7 +635,8 @@ func (s *System) AddQuery(q Query) (int, error) {
 // CommitCtx.
 func (s *System) AddQueryCtx(ctx context.Context, q Query) (int, error) {
 	j := 0
-	err := s.mutateCtx(ctx, func(st *state) error {
+	muts := []Mutation{{AddQuery: &AddQueryMutation{Query: q}}}
+	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		var err error
 		j, err = st.idx.AddQueryCtx(ctx, q)
 		return err
@@ -623,7 +652,8 @@ func (s *System) RemoveQuery(j int) error {
 // RemoveQueryCtx is RemoveQuery under a context; tracing semantics match
 // CommitCtx.
 func (s *System) RemoveQueryCtx(ctx context.Context, j int) error {
-	return s.mutateCtx(ctx, func(st *state) error { return st.idx.RemoveQueryCtx(ctx, j) })
+	muts := []Mutation{{RemoveQuery: &RemoveQueryMutation{Index: j}}}
+	return s.mutateCtx(ctx, muts, func(st *state) error { return st.idx.RemoveQueryCtx(ctx, j) })
 }
 
 // Mutation is one write operation of a batch; exactly one field must be
@@ -688,7 +718,7 @@ func (s *System) ApplyBatchCtx(ctx context.Context, muts []Mutation) ([]Mutation
 		return nil, nil
 	}
 	results := make([]MutationResult, len(muts))
-	err := s.mutateCtx(ctx, func(st *state) error {
+	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		st.idx.BeginBatch()
 		for i, m := range muts {
 			if err := core.MutationCheckpoint(ctx, i); err != nil {

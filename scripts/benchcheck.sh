@@ -1,6 +1,9 @@
 #!/bin/sh
-# Benchmark gates, all deterministic (no wall-clock thresholds — latency on
-# shared CI hardware is noise; allocation and cache-miss counts are exact).
+# Benchmark gates. The first two are deterministic (allocation and
+# cache-miss counts are exact); the WAL gate is a wall-clock ratio but a
+# generous one (110% with best-of-three retries), because it guards a
+# structural property — group commit must not serialise fsyncs into the
+# commit path — rather than a microbenchmark number.
 #
 # 1. Solve-cache A/B (PR 5): warm-cache solves must allocate less than
 #    uncached ones. Full-scale report: BENCH_PR5.json
@@ -10,7 +13,12 @@
 #    misses with dirty-set invalidation on, and must cold-start with it off.
 #    Full-scale report: BENCH_PR6.json
 #    (regenerate with: go run ./cmd/iqbench -write-json BENCH_PR6.json).
+# 3. Durability A/B (PR 7): commits under -fsync interval (group commit)
+#    must stay within 10% of the in-memory commit path.
+#    Full-scale report: BENCH_PR7.json
+#    (regenerate with: go run ./cmd/iqbench -wal-json BENCH_PR7.json).
 set -eu
 
 go run ./cmd/iqbench -cache-check
 go run ./cmd/iqbench -write-check
+go run ./cmd/iqbench -wal-check

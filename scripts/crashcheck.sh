@@ -1,0 +1,54 @@
+#!/bin/sh
+# Live kill -9 drill: boot an iqserver over a data directory, load a dataset
+# and a deterministic mutation history, then murder the process while a
+# background sprayer is mid-commit. Restart over the same directory and
+# require (a) the recovered epoch covers every acknowledged write and (b)
+# the reference solve is bit-identical. The in-process crash-injection
+# property test covers every internal boundary; only this drill proves the
+# whole stack — HTTP ack ordering, fsync policy, recovery gating behind
+# /readyz — survives an actual SIGKILL.
+set -eu
+
+ADDR=127.0.0.1:19278
+BIN=$(mktemp -d)
+DATA="$BIN/data"
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; kill "$SPRAY_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+SERVER_PID=""
+SPRAY_PID=""
+
+go build -o "$BIN/iqserver" ./cmd/iqserver
+go build -o "$BIN/iqtool" ./cmd/iqtool
+
+# -fsync always: every HTTP 200 from a mutating endpoint is a durability
+# promise, which is exactly what the verifier asserts.
+"$BIN/iqserver" -addr "$ADDR" -log-level error \
+  -data-dir "$DATA" -fsync always -checkpoint-every 0 &
+SERVER_PID=$!
+
+"$BIN/iqtool" -crash-drive "http://$ADDR" > "$BIN/ref.json"
+FAR_ID=$(sed -n 's/.*"far_id":\([0-9]*\).*/\1/p' "$BIN/ref.json")
+
+# Spray solve-neutral commits and kill the server mid-stream. The sprayer
+# exits on its own once the socket goes away.
+"$BIN/iqtool" -crash-spray "http://$ADDR" -crash-state "$BIN/acked.txt" -crash-far "$FAR_ID" &
+SPRAY_PID=$!
+sleep 1
+kill -9 "$SERVER_PID"
+wait "$SPRAY_PID" || true
+SPRAY_PID=""
+
+# Restart over the same directory; recovery must replay to at least every
+# acknowledged epoch before /readyz opens.
+"$BIN/iqserver" -addr "$ADDR" -log-level error \
+  -data-dir "$DATA" -fsync always -checkpoint-every 0 &
+SERVER_PID=$!
+
+"$BIN/iqtool" -crash-verify "http://$ADDR" -crash-ref "$BIN/ref.json" -crash-state "$BIN/acked.txt"
+
+# The surviving WAL must also pass strict offline verification.
+"$BIN/iqtool" -wal-verify "$DATA"
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "crashcheck passed"

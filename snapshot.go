@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -22,6 +24,16 @@ import (
 // callers holding pre-save indices silently queried the wrong slot after a
 // reload. Version 2 fixes that; version 1 snapshots still load (their
 // surviving queries keep the compacted positions the old format stored).
+// Version 3 additionally records the epoch, so a restored System resumes
+// counting writes where the saved one stopped — the property the WAL's
+// exact-epoch recovery is built on. Versions 1–2 load with epoch 0.
+//
+// Load is hardened against hostile or damaged input: the decoder reads at
+// most MaxSnapshotBytes, decode panics surface as errors, and the decoded
+// structure is validated (parallel slices must agree in length, dimensions
+// must be consistent) before anything is built. Garbage bytes, truncated
+// streams, and absurd declared lengths all return errors — no panic, no
+// unbounded allocation.
 //
 // Load never reuses cache state: the rebuilt index is a fresh identity, so
 // the solve caches (keyed by index identity) start cold by construction, and
@@ -81,9 +93,10 @@ func (s spaceSpec) build() (Space, error) {
 
 // snapshot is the on-disk format. QueryRemoved is parallel to the query
 // slices in version ≥ 2; in version 1 it is absent (removed queries were
-// compacted out at save time instead).
+// compacted out at save time instead). Epoch is present in version ≥ 3.
 type snapshot struct {
 	Version      int
+	Epoch        uint64
 	Space        spaceSpec
 	Objects      []vec.Vector
 	Removed      []bool
@@ -94,18 +107,29 @@ type snapshot struct {
 	Options      IndexOptions
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
+
+// MaxSnapshotBytes caps how much Load reads before giving up: a snapshot
+// declaring (or simply being) more than this is rejected rather than
+// swallowing unbounded memory. Generous next to any realistic workload —
+// the benchmark datasets serialise to well under a megabyte.
+const MaxSnapshotBytes = 1 << 30
 
 // Save writes the System to w. The subdomain index is rebuilt on Load.
 // The snapshot is taken from a single epoch: a concurrent commit either
 // lands entirely before or entirely after the saved state.
 func (s *System) Save(w io.Writer) error {
-	st := s.view()
+	return saveState(s.view(), w)
+}
+
+// saveState serialises one pinned epoch. The checkpoint writer uses it
+// directly so the snapshot and its epoch can never disagree.
+func saveState(st *state, w io.Writer) error {
 	spec, err := specOf(st.w.Space())
 	if err != nil {
 		return err
 	}
-	snap := snapshot{Version: snapshotVersion, Space: spec}
+	snap := snapshot{Version: snapshotVersion, Epoch: st.epoch, Space: spec}
 	n := st.w.NumObjects()
 	snap.Objects = make([]vec.Vector, n)
 	snap.Removed = make([]bool, n)
@@ -128,16 +152,148 @@ func (s *System) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// Load reads a snapshot written by Save and rebuilds the System (including
-// its subdomain index).
-func Load(r io.Reader) (*System, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("iq: decoding snapshot: %w", err)
+// SaveFile writes the System to path atomically: the snapshot is written to
+// a temporary file in the same directory, fsynced, and renamed over path,
+// and the directory entry is fsynced too. A crash mid-save therefore leaves
+// either the old complete file or the new complete file — never a
+// half-written snapshot that could later masquerade as the newest
+// checkpoint.
+func (s *System) SaveFile(path string) error {
+	st := s.view()
+	return writeFileAtomic(path, func(w io.Writer) error { return saveState(st, w) })
+}
+
+// writeFileAtomic is the tmp + fsync + rename + dir-fsync dance shared by
+// SaveFile and the checkpoint writer.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// errReader poisons reads past the byte cap with a descriptive error, so a
+// snapshot (or attack payload) declaring absurd lengths fails cleanly
+// instead of allocating without bound.
+type cappedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, fmt.Errorf("iq: snapshot exceeds %d bytes", int64(MaxSnapshotBytes))
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+// decodeSnapshot reads and validates the on-disk structure without building
+// anything from it. All hostile-input defence lives here.
+func decodeSnapshot(r io.Reader) (snap snapshot, err error) {
+	// encoding/gob validates declared lengths against the input it has, but a
+	// decode panic on adversarial bytes must still surface as an error, not
+	// take the process down.
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("iq: decoding snapshot: panic: %v", p)
+		}
+	}()
+	dec := gob.NewDecoder(&cappedReader{r: r, left: MaxSnapshotBytes})
+	if err := dec.Decode(&snap); err != nil {
+		return snapshot{}, fmt.Errorf("iq: decoding snapshot: %w", err)
 	}
 	if snap.Version < 1 || snap.Version > snapshotVersion {
-		return nil, fmt.Errorf("iq: unsupported snapshot version %d", snap.Version)
+		return snapshot{}, fmt.Errorf("iq: unsupported snapshot version %d", snap.Version)
 	}
+	if len(snap.Removed) != len(snap.Objects) {
+		return snapshot{}, fmt.Errorf("iq: corrupt snapshot: %d objects but %d removal flags",
+			len(snap.Objects), len(snap.Removed))
+	}
+	m := len(snap.QueryID)
+	if len(snap.QueryK) != m || len(snap.QueryPt) != m {
+		return snapshot{}, fmt.Errorf("iq: corrupt snapshot: query slices disagree (%d ids, %d ks, %d points)",
+			m, len(snap.QueryK), len(snap.QueryPt))
+	}
+	if snap.QueryRemoved != nil && len(snap.QueryRemoved) != m {
+		return snapshot{}, fmt.Errorf("iq: corrupt snapshot: %d queries but %d query tombstones",
+			m, len(snap.QueryRemoved))
+	}
+	if len(snap.Objects) > 0 {
+		d := len(snap.Objects[0])
+		for i, o := range snap.Objects {
+			if len(o) != d {
+				return snapshot{}, fmt.Errorf("iq: corrupt snapshot: object %d has %d attributes, want %d",
+					i, len(o), d)
+			}
+		}
+	}
+	return snap, nil
+}
+
+// Load reads a snapshot written by Save and rebuilds the System (including
+// its subdomain index). The restored System resumes at the saved epoch
+// (version ≥ 3; older snapshots restore to epoch 0).
+func Load(r io.Reader) (*System, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromSnapshot(snap)
+}
+
+// LoadFile is Load against a file path, pairing with SaveFile.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("iq: loading %s: %w", path, err)
+	}
+	return sys, nil
+}
+
+func buildFromSnapshot(snap snapshot) (*System, error) {
 	space, err := snap.Space.build()
 	if err != nil {
 		return nil, err
@@ -173,5 +329,7 @@ func Load(r io.Reader) (*System, error) {
 	// brand-new, so there are no cache entries to migrate, and the first real
 	// mutation's dirty set must describe only that mutation.
 	idx.TakeDirty()
-	return newSystem(w, idx), nil
+	s := newSystem(w, idx)
+	s.cur.Load().epoch = snap.Epoch
+	return s, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"iq/internal/dataset"
 )
@@ -349,5 +350,131 @@ func TestSaveLoadQueryIndexStability(t *testing.T) {
 		if h1 != h2 {
 			t.Fatalf("target %d: hits diverged after post-load mutation: %d vs %d", target, h1, h2)
 		}
+	}
+}
+
+// TestLoadHostileInputs is the corrupt-snapshot table: garbage, truncation,
+// type confusion, inconsistent structures, and absurd declared lengths must
+// all return an error — never panic, never allocate without bound.
+func TestLoadHostileInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sys := smallSystem(t, rng, 20, 10)
+	var valid bytes.Buffer
+	if err := sys.Save(&valid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structurally valid gob, semantically corrupt snapshots.
+	encodeSnap := func(s snapshot) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	mismatchedRemoved := encodeSnap(snapshot{Version: 3,
+		Space:   spaceSpec{Kind: "linear", Dim: 2},
+		Objects: []Vector{{1, 2}, {3, 4}}, Removed: []bool{false}})
+	raggedQueries := encodeSnap(snapshot{Version: 3,
+		Space:   spaceSpec{Kind: "linear", Dim: 2},
+		Objects: []Vector{{1, 2}}, Removed: []bool{false},
+		QueryID: []int{0, 1}, QueryK: []int{1}, QueryPt: []Vector{{1, 1}}})
+	raggedObjects := encodeSnap(snapshot{Version: 3,
+		Space:   spaceSpec{Kind: "linear", Dim: 2},
+		Objects: []Vector{{1, 2}, {3}}, Removed: []bool{false, false}})
+	badSpace := encodeSnap(snapshot{Version: 3, Space: spaceSpec{Kind: "quantum"}})
+	futureVersion := encodeSnap(snapshot{Version: 99, Space: spaceSpec{Kind: "linear", Dim: 2}})
+	wrongType := func() []byte {
+		var buf bytes.Buffer
+		gob.NewEncoder(&buf).Encode(map[string][]string{"not": {"a", "snapshot"}})
+		return buf.Bytes()
+	}()
+
+	garbage := make([]byte, 4096)
+	rng.Read(garbage)
+
+	cases := []struct {
+		name  string
+		input []byte
+	}{
+		{"empty", nil},
+		{"random garbage", garbage},
+		{"all 0xff", bytes.Repeat([]byte{0xff}, 512)},
+		{"truncated header", valid.Bytes()[:3]},
+		{"truncated mid-stream", valid.Bytes()[:valid.Len()/2]},
+		{"truncated near end", valid.Bytes()[:valid.Len()-4]},
+		{"wrong gob type", wrongType},
+		{"mismatched removal flags", mismatchedRemoved},
+		{"ragged query slices", raggedQueries},
+		{"ragged object dims", raggedObjects},
+		{"unknown space kind", badSpace},
+		{"future version", futureVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Load panicked: %v", p)
+				}
+			}()
+			if _, err := Load(bytes.NewReader(tc.input)); err == nil {
+				t.Fatal("Load accepted hostile input")
+			}
+		})
+	}
+}
+
+// endlessReader yields the same byte forever — the attack shape where a
+// stream keeps promising more data. The decode cap must stop it.
+type endlessReader struct{ b byte }
+
+func (r endlessReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.b
+	}
+	return len(p), nil
+}
+
+func TestLoadBoundedAgainstEndlessStream(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := Load(endlessReader{b: 0xff})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Load accepted an endless stream")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Load did not terminate on an endless stream")
+	}
+}
+
+func TestSnapshotCarriesEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sys := smallSystem(t, rng, 20, 10)
+	for i := 0; i < 3; i++ {
+		if err := sys.Commit(i, Vector{-0.01, -0.01, -0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Epoch(); got != 3 {
+		t.Fatalf("restored epoch %d, want 3", got)
+	}
+	// The restored System keeps counting from there.
+	if err := loaded.Commit(0, Vector{-0.01, -0.01, -0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Epoch(); got != 4 {
+		t.Fatalf("post-restore epoch %d, want 4", got)
 	}
 }

@@ -1,11 +1,14 @@
 package iq
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"iq/internal/core"
 	"iq/internal/vec"
 )
 
@@ -195,5 +198,133 @@ func TestStressMinCostDuringCommits(t *testing.T) {
 	wg.Wait()
 	if err := sys.Index().CheckInvariant(); err != nil {
 		t.Errorf("index invariant after stress: %v", err)
+	}
+}
+
+// TestStressSolvesDuringRecovery pins down the recovery-concurrency
+// contract: while WAL replay is still running, Open has not returned (so a
+// server admitting solves before then can only be serving 503s), and any
+// code holding the checkpoint-loaded System — the server's readiness probe,
+// a diagnostic endpoint — sees exactly the checkpoint state or a fully
+// published replayed prefix, never a half-applied epoch.
+func TestStressSolvesDuringRecovery(t *testing.T) {
+	const (
+		historyWrites   = 10
+		checkpointAfter = 4
+	)
+	ctx := context.Background()
+	dir := t.TempDir()
+	store, err := Open(dir, quietOpts(FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := stressFixture(t, 77)
+	if err := store.Attach(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < historyWrites; i++ {
+		if i == checkpointAfter {
+			if err := store.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		target := 10 + i
+		if err := sys.Commit(target, Vector{-0.02, -0.01, -0.015}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preCrash, err := sys.MinCost(MinCostRequest{Target: 0, Tau: 3, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with replay paused at its first mutation checkpoint: the hook
+	// blocks the replay goroutine while concurrent solves hammer the
+	// checkpoint-loaded System.
+	var recovered atomic.Pointer[System]
+	replayStarted := make(chan struct{})
+	release := make(chan struct{})
+	var pauseOnce sync.Once
+	restore := core.SetIterationHook(func(op string, _ int) {
+		if op != "mutation" {
+			return
+		}
+		pauseOnce.Do(func() {
+			close(replayStarted)
+			<-release
+		})
+	})
+	defer restore()
+
+	type opened struct {
+		store *Store
+		err   error
+	}
+	done := make(chan opened, 1)
+	go func() {
+		st, err := Open(dir, OpenOptions{Fsync: FsyncOff, FsyncInterval: time.Hour,
+			Logger:           quietLogger(),
+			checkpointLoaded: func(s *System) { recovered.Store(s) }})
+		done <- opened{st, err}
+	}()
+
+	<-replayStarted
+	select {
+	case <-done:
+		t.Fatal("Open returned while replay was paused — solves could see a half-recovered store")
+	default:
+	}
+	rsys := recovered.Load()
+	if rsys == nil {
+		t.Fatal("checkpoint-loaded System not observed before replay")
+	}
+	// Replay is parked before publishing its first transaction: the visible
+	// epoch must be exactly the checkpoint's, and solves against it must be
+	// stable (no publication can land while the replayer is blocked).
+	if got := rsys.Epoch(); got != checkpointAfter {
+		t.Fatalf("paused-replay epoch %d, want checkpoint epoch %d", got, checkpointAfter)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(target int) {
+			defer wg.Done()
+			w1 := rsys.Workload()
+			if _, err := rsys.MinCost(MinCostRequest{Target: target, Tau: 2, Cost: L2Cost{}}); err != nil {
+				t.Errorf("solve during paused replay: %v", err)
+			}
+			if w2 := rsys.Workload(); w1 != w2 {
+				t.Error("epoch changed under a solve while replay was paused")
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	close(release)
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("Open after release: %v", res.err)
+	}
+	defer res.store.Close()
+	if res.store.System() != rsys {
+		t.Fatal("Open returned a different System than the checkpoint-loaded one")
+	}
+	if got := rsys.Epoch(); got != historyWrites {
+		t.Fatalf("recovered epoch %d, want %d", got, historyWrites)
+	}
+	postCrash, err := rsys.MinCost(MinCostRequest{Target: 0, Tau: 3, Cost: L2Cost{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postCrash.Cost != preCrash.Cost || postCrash.Hits != preCrash.Hits {
+		t.Fatalf("post-recovery solve diverged: %+v vs %+v", postCrash, preCrash)
+	}
+	for d := range preCrash.Strategy {
+		if postCrash.Strategy[d] != preCrash.Strategy[d] {
+			t.Fatalf("post-recovery strategy differs at dim %d", d)
+		}
 	}
 }
