@@ -21,3 +21,7 @@ go test -race -run TestStress -count=2 -timeout 10m ./...
 # Solve-cache benchmark gate: reduced-scale cached-vs-uncached A/B of both
 # solvers; fails if the warm-cache path stops saving allocations.
 ./scripts/benchcheck.sh
+# Live durability gate: kill -9 a real iqserver mid-commit, restart over the
+# same data dir, and require the acknowledged epoch and a bit-identical
+# reference solve.
+./scripts/crashcheck.sh

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -146,6 +147,12 @@ type Store struct {
 	dir  string
 	opts OpenOptions
 
+	// attachMu serialises Attach calls end to end: the generation number is
+	// reserved, its checkpoint written, and its log created as one unit, so
+	// two concurrent attachers can never race to the same checkpoint path.
+	// Taken before smu / the System's writer mutex, never while holding them.
+	attachMu sync.Mutex
+
 	smu            sync.Mutex // guards the fields below
 	system         *System
 	log            *wal.Log
@@ -185,9 +192,12 @@ func Open(dir string, opts OpenOptions) (*Store, error) {
 //
 // Recovery picks the highest generation whose checkpoint loads, replays that
 // generation's WAL tail on top of it, and deletes every other generation's
-// files (older, superseded ones and newer ones a crash left incomplete). WAL
-// segments with no checkpoint at all are an error: they would mean
-// acknowledged history with no base state to replay it onto.
+// files (older, superseded ones and newer ones a crash left incomplete). A
+// checkpoint is passed over only when it is provably corrupt
+// (ErrCorruptSnapshot); a transient read error aborts recovery rather than
+// falling back and pruning newer acknowledged data. WAL segments with no
+// checkpoint at all are an error: they would mean acknowledged history with
+// no base state to replay it onto.
 func OpenCtx(ctx context.Context, dir string, opts OpenOptions) (*Store, error) {
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "recover")
@@ -216,9 +226,13 @@ func OpenCtx(ctx context.Context, dir string, opts OpenOptions) (*Store, error) 
 		return st, nil // fresh directory
 	}
 
-	// Highest generation with a loadable checkpoint wins; a corrupt newer
-	// checkpoint (which the atomic writer should make impossible, but disks
-	// happen) falls back to the one before it.
+	// Highest generation with a loadable checkpoint wins; a provably corrupt
+	// newer checkpoint (which the atomic writer should make impossible, but
+	// disks happen) falls back to the one before it. Only corruption may
+	// trigger the fallback: once a generation is recovered, every other one
+	// is pruned, so skipping a checkpoint over a transient I/O error
+	// (EIO, permissions) would destroy acknowledged data a retry could have
+	// read — those errors abort recovery instead.
 	var sys *System
 	var gen uint64
 	for i := len(cpGens) - 1; i >= 0; i-- {
@@ -226,7 +240,10 @@ func OpenCtx(ctx context.Context, dir string, opts OpenOptions) (*Store, error) 
 		path := filepath.Join(dir, checkpointName(g))
 		loaded, err := LoadFile(path)
 		if err != nil {
-			log.Warn("iq: skipping unreadable checkpoint", "path", path, "err", err)
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				return nil, fmt.Errorf("iq: reading checkpoint %s: %w (not provably corrupt; refusing to fall back and prune newer data)", path, err)
+			}
+			log.Warn("iq: skipping corrupt checkpoint", "path", path, "err", err)
 			continue
 		}
 		sys, gen = loaded, g
@@ -331,6 +348,8 @@ func (s *Store) Generation() uint64 {
 func (s *Store) Attach(ctx context.Context, sys *System) error {
 	_, span := obs.StartSpan(ctx, "checkpoint/attach")
 	defer span.End()
+	s.attachMu.Lock()
+	defer s.attachMu.Unlock()
 	s.smu.Lock()
 	if s.closed {
 		s.smu.Unlock()

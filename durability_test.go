@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -622,4 +623,205 @@ func TestSaveFileLoadFileAtomic(t *testing.T) {
 	if reloaded.Epoch() != sys.Epoch() {
 		t.Fatalf("reloaded epoch %d, want %d", reloaded.Epoch(), sys.Epoch())
 	}
+}
+
+// TestRepeatedRecoveryAfterRotationCrash is the end-to-end double-restart
+// regression: a headerless segment left by a crash during checkpoint
+// rotation must not wedge the store after the SECOND restart — the first
+// recovery has to sweep it, not just skip past it.
+func TestRepeatedRecoveryAfterRotationCrash(t *testing.T) {
+	const seed = 51
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := durFixture(t, seed)
+	if err := store.Attach(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := applyCrashStep(ctx, sys, i); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	store.abort() // kill -9
+	// The rotation-crash artifact: the next segment exists but never got its
+	// header onto disk.
+	segs, err := wal.ListSegments(dir, 1)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	next := segs[len(segs)-1].Seq + 1
+	if err := os.WriteFile(filepath.Join(dir, wal.SegmentName(1, next)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store1, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatalf("first restart: %v", err)
+	}
+	if err := applyCrashStep(ctx, store1.System(), 3); err != nil {
+		t.Fatalf("post-recovery step: %v", err)
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the fix this Open failed with "segment shorter than header" —
+	// permanently, until an operator deleted the leftover by hand.
+	store2, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	defer store2.Close()
+	if got := store2.System().Epoch(); got != 4 {
+		t.Fatalf("recovered epoch %d, want 4", got)
+	}
+	assertSameWorkload(t, "second restart", store2.System(), oracleAt(t, seed, 4))
+}
+
+// TestTransientCheckpointReadErrorAbortsRecovery: a newest checkpoint that
+// fails to READ (as opposed to failing to decode) must abort Open without
+// pruning anything — falling back to the older generation would delete the
+// newer one's acknowledged history over a fault a retry could clear.
+func TestTransientCheckpointReadErrorAbortsRecovery(t *testing.T) {
+	const seed = 61
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := durFixture(t, seed)
+	if err := store.Attach(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyCrashStep(ctx, sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A directory in place of a newer generation's checkpoint: os.Open
+	// succeeds, every read fails with EISDIR — an I/O fault, not provable
+	// corruption.
+	bogus := filepath.Join(dir, checkpointName(2))
+	if err := os.Mkdir(bogus, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, quietOpts(FsyncAlways)); err == nil {
+		t.Fatal("transient checkpoint read error must abort recovery, not fall back")
+	}
+
+	// Nothing was pruned: clearing the fault recovers generation 1 intact.
+	if err := os.Remove(bogus); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatalf("recovery after clearing fault: %v", err)
+	}
+	defer store2.Close()
+	if store2.Generation() != 1 || store2.System().Epoch() != 1 {
+		t.Fatalf("recovered generation %d epoch %d, want 1/1",
+			store2.Generation(), store2.System().Epoch())
+	}
+	assertSameWorkload(t, "after fault cleared", store2.System(), oracleAt(t, seed, 1))
+}
+
+// TestCorruptNewerCheckpointFallsBack: garbage bytes in a newer generation's
+// checkpoint are provably corrupt, so recovery falls back to the previous
+// generation and prunes the bad one.
+func TestCorruptNewerCheckpointFallsBack(t *testing.T) {
+	const seed = 62
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := durFixture(t, seed)
+	if err := store.Attach(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyCrashStep(ctx, sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bogus := filepath.Join(dir, checkpointName(2))
+	if err := os.WriteFile(bogus, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatalf("recovery should fall back past a corrupt checkpoint: %v", err)
+	}
+	defer store2.Close()
+	if store2.Generation() != 1 || store2.System().Epoch() != 1 {
+		t.Fatalf("recovered generation %d epoch %d, want 1/1",
+			store2.Generation(), store2.System().Epoch())
+	}
+	assertSameWorkload(t, "fallback", store2.System(), oracleAt(t, seed, 1))
+	if _, err := os.Stat(bogus); !os.IsNotExist(err) {
+		t.Fatalf("corrupt checkpoint not pruned: %v", err)
+	}
+}
+
+// TestConcurrentAttach: Attach is safe for concurrent use — calls serialise,
+// each takes its own generation, and recovery lands on whichever dataset won.
+// Before the attach mutex two racers shared gen+1: the loser overwrote the
+// winner's checkpoint and then failed creating the same WAL file.
+func TestConcurrentAttach(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attachers = 4
+	systems := make([]*System, attachers)
+	for i := range systems {
+		systems[i] = durFixture(t, int64(70+i))
+	}
+	errs := make([]error, attachers)
+	var wg sync.WaitGroup
+	for i := 0; i < attachers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = store.Attach(ctx, systems[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Attach %d: %v", i, err)
+		}
+	}
+	if got := store.Generation(); got != attachers {
+		t.Fatalf("generation %d after %d attaches, want %d", got, attachers, attachers)
+	}
+	final := store.System()
+	if err := applyCrashStep(ctx, final, 0); err != nil {
+		t.Fatalf("write to final attached System: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, quietOpts(FsyncAlways))
+	if err != nil {
+		t.Fatalf("recovery after concurrent attaches: %v", err)
+	}
+	defer store2.Close()
+	if store2.Generation() != attachers {
+		t.Fatalf("recovered generation %d, want %d", store2.Generation(), attachers)
+	}
+	assertSameWorkload(t, "concurrent attach winner", store2.System(), final)
 }

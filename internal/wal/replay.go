@@ -12,7 +12,10 @@ package wal
 //     counted, and replay ends there. In any earlier segment the same
 //     condition is real corruption — rotation fsyncs a segment before
 //     retiring it, so its tail can never be legitimately torn — and replay
-//     fails rather than silently dropping acknowledged history.
+//     fails rather than silently dropping acknowledged history. The one
+//     benign shape is a zero-length non-final segment (a crash during
+//     rotation, its torn header truncated away by an earlier recovery): it
+//     holds no records, so it is removed and skipped.
 //   - A transaction whose End marker is missing at the tail of the last
 //     segment is rolled back whole: the file is truncated at its Begin
 //     record. Mid-stream framing violations are corruption.
@@ -200,6 +203,18 @@ func Replay(dir string, gen, after uint64, opts Options, fn func(Txn) error) (Re
 			return stats, err
 		}
 		if corrupt != nil && !final {
+			// A zero-length segment before the final one is not history loss:
+			// it holds no records, only a header that never reached the disk
+			// (crash during rotation, truncated away by an earlier recovery).
+			// Remove it and keep replaying; anything non-empty is real
+			// mid-log corruption.
+			if fi, statErr := os.Stat(ref.Path); statErr == nil && fi.Size() == 0 {
+				log.Warn("wal: removing empty non-final segment", "segment", ref.Path)
+				if err := os.Remove(ref.Path); err != nil {
+					return stats, fmt.Errorf("wal: removing empty segment %s: %w", ref.Path, err)
+				}
+				continue
+			}
 			return stats, corrupt
 		}
 		pending, pendingWant, pendingStart = nil, 0, 0

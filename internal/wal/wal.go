@@ -261,8 +261,13 @@ func OpenForAppend(dir string, gen uint64, opts Options) (*Log, error) {
 		}
 		if fi.Size() < headerLen {
 			// The segment never got a full header (crash during rotation, or
-			// recovery truncated a corrupt header to zero). Start the next
-			// sequence number instead of appending after garbage.
+			// recovery truncated a corrupt header to zero). Remove it and
+			// start the next sequence number: left in place it would no
+			// longer be the final segment once that next one exists, and a
+			// later Replay would treat it as fatal mid-log corruption.
+			if err := os.Remove(last.Path); err != nil {
+				return nil, fmt.Errorf("wal: removing headerless segment %s: %w", last.Path, err)
+			}
 			if err := l.openSegment(last.Seq + 1); err != nil {
 				return nil, err
 			}

@@ -455,3 +455,88 @@ func TestParsePolicy(t *testing.T) {
 		t.Fatal("want error for unknown policy")
 	}
 }
+
+// TestRecoveryAfterRotationCrashIsRepeatable reproduces a crash during
+// rotation that leaves a segment shorter than its header. The first recovery
+// truncates it and, when resuming appends, must REMOVE it: left behind as a
+// zero-byte file it is no longer the final segment once the next one exists,
+// and a second recovery would refuse the whole log as mid-log corruption.
+func TestRecoveryAfterRotationCrashIsRepeatable(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, 1)
+	l.Append([]Record{rec(1, "a")})
+	l.Abort()
+	// A crash between a rotation's O_EXCL create and its header write leaves
+	// the next segment sub-header.
+	short := filepath.Join(dir, SegmentName(1, 1))
+	if err := os.WriteFile(short, segMagic[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery cycle: replay truncates the torn header, OpenForAppend
+	// sweeps the leftover and resumes on the next sequence.
+	txns, _ := replayAll(t, dir, 1, 0)
+	if len(txns) != 1 {
+		t.Fatalf("first recovery: %d txns, want 1", len(txns))
+	}
+	l2, err := OpenForAppend(dir, 1, testOpts())
+	if err != nil {
+		t.Fatalf("first OpenForAppend: %v", err)
+	}
+	if err := l2.Append([]Record{rec(2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	if _, err := os.Stat(short); !os.IsNotExist(err) {
+		t.Fatalf("headerless segment still present after resume: %v", err)
+	}
+
+	// Second recovery cycle must see a clean log; before the fix the
+	// zero-byte leftover made Replay fail here, permanently.
+	txns, _ = replayAll(t, dir, 1, 0)
+	if len(txns) != 2 || txns[1].Epoch != 2 {
+		t.Fatalf("second recovery: txns = %+v", txns)
+	}
+	l3, err := OpenForAppend(dir, 1, testOpts())
+	if err != nil {
+		t.Fatalf("second OpenForAppend: %v", err)
+	}
+	l3.Close()
+}
+
+// TestReplayRemovesEmptyNonFinalSegment: a zero-byte segment below the tail
+// (the artifact a pre-fix recovery could leave) is swept away, not treated
+// as fatal corruption — but a NON-empty headerless mid-log segment stays
+// fatal.
+func TestReplayRemovesEmptyNonFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, 1)
+	l.Append([]Record{rec(1, "a")})
+	l.Close()
+	empty := filepath.Join(dir, SegmentName(1, 1))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build a valid record-less successor so the empty file is not final.
+	var hdr [headerLen]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], 1)
+	binary.LittleEndian.PutUint64(hdr[16:24], 2)
+	if err := os.WriteFile(filepath.Join(dir, SegmentName(1, 2)), hdr[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	txns, _ := replayAll(t, dir, 1, 0)
+	if len(txns) != 1 || txns[0].Epoch != 1 {
+		t.Fatalf("txns = %+v", txns)
+	}
+	if _, err := os.Stat(empty); !os.IsNotExist(err) {
+		t.Fatalf("empty segment still present: %v", err)
+	}
+	if err := os.WriteFile(empty, segMagic[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 1, 0, testOpts(), func(Txn) error { return nil }); err == nil {
+		t.Fatal("non-empty headerless mid-log segment must stay fatal")
+	}
+}

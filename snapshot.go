@@ -2,6 +2,7 @@ package iq
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -205,12 +206,24 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-// errReader poisons reads past the byte cap with a descriptive error, so a
-// snapshot (or attack payload) declaring absurd lengths fails cleanly
-// instead of allocating without bound.
+// ErrCorruptSnapshot tags Load/LoadFile failures whose cause is provably
+// invalid snapshot content — garbage bytes, truncation, failed validation —
+// as opposed to an I/O fault reading it. Recovery leans on the distinction:
+// a corrupt checkpoint is safely skipped in favour of an older generation,
+// while a transient read error (EIO, permissions) must abort recovery — the
+// bytes on disk may be perfectly good, and falling back would prune the
+// newest generation's acknowledged history over a passing fault.
+var ErrCorruptSnapshot = errors.New("iq: corrupt snapshot")
+
+// cappedReader poisons reads past the byte cap with a descriptive error, so
+// a snapshot (or attack payload) declaring absurd lengths fails cleanly
+// instead of allocating without bound. It also latches the first real error
+// the underlying reader returns, so Load can tell a failed read (I/O fault)
+// apart from bytes that read fine but decode as garbage (corruption).
 type cappedReader struct {
-	r    io.Reader
-	left int64
+	r     io.Reader
+	left  int64
+	ioErr error // first non-EOF error from the underlying reader
 }
 
 func (c *cappedReader) Read(p []byte) (int, error) {
@@ -222,11 +235,15 @@ func (c *cappedReader) Read(p []byte) (int, error) {
 	}
 	n, err := c.r.Read(p)
 	c.left -= int64(n)
+	if err != nil && err != io.EOF && c.ioErr == nil {
+		c.ioErr = err
+	}
 	return n, err
 }
 
 // decodeSnapshot reads and validates the on-disk structure without building
-// anything from it. All hostile-input defence lives here.
+// anything from it. Structural hostile-input defence lives here; Load adds
+// the byte cap and the corruption-vs-I/O classification.
 func decodeSnapshot(r io.Reader) (snap snapshot, err error) {
 	// encoding/gob validates declared lengths against the input it has, but a
 	// decode panic on adversarial bytes must still surface as an error, not
@@ -236,7 +253,7 @@ func decodeSnapshot(r io.Reader) (snap snapshot, err error) {
 			err = fmt.Errorf("iq: decoding snapshot: panic: %v", p)
 		}
 	}()
-	dec := gob.NewDecoder(&cappedReader{r: r, left: MaxSnapshotBytes})
+	dec := gob.NewDecoder(r)
 	if err := dec.Decode(&snap); err != nil {
 		return snapshot{}, fmt.Errorf("iq: decoding snapshot: %w", err)
 	}
@@ -271,12 +288,25 @@ func decodeSnapshot(r io.Reader) (snap snapshot, err error) {
 // Load reads a snapshot written by Save and rebuilds the System (including
 // its subdomain index). The restored System resumes at the saved epoch
 // (version ≥ 3; older snapshots restore to epoch 0).
+//
+// Failures are classified: if the underlying reader itself errored, that
+// I/O error is returned as-is; everything else — bytes that decode as
+// garbage, validation failures, unbuildable content — wraps
+// ErrCorruptSnapshot, marking the input provably invalid.
 func Load(r io.Reader) (*System, error) {
-	snap, err := decodeSnapshot(r)
+	cr := &cappedReader{r: r, left: MaxSnapshotBytes}
+	snap, err := decodeSnapshot(cr)
 	if err != nil {
-		return nil, err
+		if cr.ioErr != nil {
+			return nil, fmt.Errorf("iq: reading snapshot: %w", cr.ioErr)
+		}
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSnapshot, err)
 	}
-	return buildFromSnapshot(snap)
+	sys, err := buildFromSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSnapshot, err)
+	}
+	return sys, nil
 }
 
 // LoadFile is Load against a file path, pairing with SaveFile.

@@ -3,6 +3,7 @@ package iq
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -476,5 +477,28 @@ func TestSnapshotCarriesEpoch(t *testing.T) {
 	}
 	if got := loaded.Epoch(); got != 4 {
 		t.Fatalf("post-restore epoch %d, want 4", got)
+	}
+}
+
+// erringReader fails every Read with a fixed error — a stand-in for EIO.
+type erringReader struct{ err error }
+
+func (r erringReader) Read([]byte) (int, error) { return 0, r.err }
+
+// TestLoadClassifiesCorruptionVsIO: bytes that decode as garbage are tagged
+// ErrCorruptSnapshot; a reader that itself fails surfaces its I/O error
+// untagged. Recovery relies on the distinction to decide between falling
+// back to an older checkpoint and aborting.
+func TestLoadClassifiesCorruptionVsIO(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage, not gob"))); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("garbage input: err = %v, want ErrCorruptSnapshot", err)
+	}
+	boom := errors.New("simulated EIO")
+	_, err := Load(erringReader{err: boom})
+	if err == nil || errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("reader fault: err = %v, must not be classified as corruption", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("reader fault: err = %v, want the underlying I/O error", err)
 	}
 }
