@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck
+.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck analyzecheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
@@ -9,7 +9,7 @@ GO ?= go
 # live server to prove the exposition parses end to end. Every test run
 # carries an explicit -timeout so a hung solve fails fast with a goroutine
 # dump instead of stalling CI at the per-package default.
-check: build vet race stress metricscheck tracecheck benchcheck crashcheck
+check: build vet race stress metricscheck tracecheck benchcheck crashcheck analyzecheck
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ benchcheck:
 # the deployed binary survives a real SIGKILL.
 crashcheck:
 	./scripts/crashcheck.sh
+
+# analyzecheck boots a real iqserver, drives a skewed workload through the
+# HTTP API, and validates the workload-analytics surface end to end:
+# /v1/stats/workload, the ?advise=k shard proposal, and /debug/workload
+# (scripts/analyzecheck.sh).
+analyzecheck:
+	./scripts/analyzecheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -25,3 +25,7 @@ go test -race -run TestStress -count=2 -timeout 10m ./...
 # same data dir, and require the acknowledged epoch and a bit-identical
 # reference solve.
 ./scripts/crashcheck.sh
+# Live workload-analytics gate: boot a real iqserver, drive a skewed
+# workload, and validate /v1/stats/workload, the ?advise=k shard proposal,
+# and /debug/workload end to end.
+./scripts/analyzecheck.sh

@@ -84,21 +84,23 @@ func obsBenchWorkload(seed int64) (*iq.System, []iq.MinCostRequest, []iq.MaxHitR
 	return sys, mcReqs, mhReqs, rep, nil
 }
 
-// benchSolverPair measures one solver with the metrics layer on and off.
-// The two configurations are interleaved solve-by-solve (on, off, on, off,
-// …) so slow drift — thermal throttling, noisy co-tenants on shared
-// hardware — lands on both sides equally instead of biasing whichever ran
-// first; each side reports the median of its samples, which additionally
-// shrugs off GC pauses and scheduler spikes. The true overhead is a
-// handful of atomic adds plus wall-clock sampling per probe, far below the
-// per-probe LP solve, so the estimator has to be this careful not to
-// drown the signal. Alloc figures come from MemStats deltas — solves are
-// deterministic, so the per-iteration average is exact.
-func benchSolverPair(name string, run func(i int) error) (on, off benchRow, err error) {
-	const iters = 12
+// benchSolverPair measures one solver with an instrumentation layer on and
+// off; toggle flips the layer under test and returns its previous setting
+// (obs.SetEnabled for the metrics registry, iq.SetWorkloadAnalyticsEnabled
+// for the workload aggregator). The two configurations are interleaved
+// solve-by-solve (on, off, on, off, …) so slow drift — thermal throttling,
+// noisy co-tenants on shared hardware — lands on both sides equally instead
+// of biasing whichever ran first; each side reports the median of its
+// samples, which additionally shrugs off GC pauses and scheduler spikes. The
+// true overhead is a handful of atomic adds plus wall-clock sampling per
+// probe, far below the per-probe LP solve, so the estimator has to be this
+// careful not to drown the signal. Alloc figures come from MemStats deltas —
+// solves are deterministic, so the per-iteration average is exact.
+func benchSolverPair(name string, toggle func(bool) bool, run func(i int) error) (on, off benchRow, err error) {
+	const iters = 20
 	sample := func(enabled bool, i int) (time.Duration, uint64, uint64, error) {
-		was := obs.SetEnabled(enabled)
-		defer obs.SetEnabled(was)
+		was := toggle(enabled)
+		defer toggle(was)
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
@@ -169,7 +171,7 @@ func runObsBench(path string, seed int64) error {
 		name string
 		run  func(i int) error
 	}{{"MinCost", minCost}, {"MaxHit", maxHit}} {
-		on, off, err := benchSolverPair(s.name, s.run)
+		on, off, err := benchSolverPair(s.name, obs.SetEnabled, s.run)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// designTable is DESIGN.md's instrumentation map: exact family name (or, for
+// rows ending in `*`, a prefix) -> declared type.
+type designTable struct {
+	families map[string]string
+	prefixes []string
+}
+
+func (d *designTable) covers(name string) bool {
+	if _, ok := d.families[name]; ok {
+		return true
+	}
+	for _, p := range d.prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDesignTable extracts the `| Series | Type | Labels | Owner |` table
+// from DESIGN.md's "Instrumentation map" section.
+func parseDesignTable(t *testing.T) *designTable {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &designTable{families: map[string]string{}}
+	inSection, inTable := false, false
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "## Instrumentation map"):
+			inSection = true
+			continue
+		case inSection && strings.HasPrefix(line, "## "):
+			inSection = false
+		}
+		if !inSection {
+			continue
+		}
+		if !strings.HasPrefix(line, "|") {
+			if inTable {
+				break // table ended
+			}
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 5 {
+			continue
+		}
+		name := strings.TrimSpace(cells[1])
+		typ := strings.TrimSpace(cells[2])
+		if name == "Series" || strings.HasPrefix(name, "---") {
+			inTable = true
+			continue
+		}
+		// Name cell is `series_name` in backticks, possibly with a trailing
+		// comment: `go_*` (runtime bridge).
+		start := strings.IndexByte(name, '`')
+		end := strings.IndexByte(name[start+1:], '`')
+		if start < 0 || end < 0 {
+			t.Fatalf("instrumentation map row without backticked series name: %q", line)
+		}
+		series := name[start+1 : start+1+end]
+		if strings.HasSuffix(series, "*") {
+			d.prefixes = append(d.prefixes, strings.TrimSuffix(series, "*"))
+			continue
+		}
+		d.families[series] = typ
+	}
+	if len(d.families) < 20 || len(d.prefixes) == 0 {
+		t.Fatalf("instrumentation map parse looks wrong: %d families, %d prefixes",
+			len(d.families), len(d.prefixes))
+	}
+	return d
+}
+
+// scrapeTypes fetches /metrics and returns family name -> declared TYPE.
+func scrapeTypes(t *testing.T, baseURL string) map[string]string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	types := map[string]string{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			types[fields[2]] = fields[3]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return types
+}
+
+// TestMetricsMatchDesignDoc is the drift guard: the instrumentation map in
+// DESIGN.md and the live /metrics exposition must agree in both directions.
+// A new series without a documentation row fails, as does a documented row
+// whose series vanished (or changed type). The server is driven through
+// every lazily-registering path first — solves, mutations, a traced
+// request, a slow solve, WAL recovery — so the scrape covers the full
+// document, not just the init-time registrations.
+func TestMetricsMatchDesignDoc(t *testing.T) {
+	want := parseDesignTable(t)
+
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg := defaultConfig()
+	cfg.slowSolve = time.Nanosecond // every solve counts as slow
+	api := newServer(logger, cfg)
+
+	// Boot through WAL recovery so the durability families register and a
+	// store is attached (mutations then exercise the WAL counters too).
+	exited := false
+	api.startRecovery(context.Background(), durabilityConfig{
+		dataDir: t.TempDir(), fsync: "always",
+	}, logger, func(int) { exited = true })
+	for deadline := time.Now().Add(10 * time.Second); api.recovering.Load(); {
+		if exited {
+			t.Fatal("recovery failed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovery did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts := httptest.NewServer(api.handler())
+	defer ts.Close()
+
+	loadDataset(t, ts, 100, 40)
+	// A traced solve registers the HTTP, solve, slow-solve, and
+	// trace-capture families in one request.
+	if resp, body := postRaw(t, ts.URL+"/v1/mincost?trace=1", `{"target":5,"tau":6}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	// A batch registers iq_http_batch_items_total's route traffic; an object
+	// add registers iq_index_updates_total and commits through the WAL.
+	if resp, body := postRaw(t, ts.URL+"/v1/solve/batch",
+		`{"items":[{"op":"mincost","target":3,"tau":5}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postRaw(t, ts.URL+"/v1/objects", `{"attrs":[0.5,0.5,0.5]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add object: %d %s", resp.StatusCode, body)
+	}
+
+	got := scrapeTypes(t, ts.URL)
+
+	var missing, undocumented, mistyped []string
+	for name, typ := range want.families {
+		gotTyp, ok := got[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if typ != "mixed" && gotTyp != typ {
+			mistyped = append(mistyped, fmt.Sprintf("%s: DESIGN.md says %s, /metrics says %s", name, typ, gotTyp))
+		}
+	}
+	for name := range got {
+		if !want.covers(name) {
+			undocumented = append(undocumented, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("documented in DESIGN.md but absent from /metrics (stale doc row, or a lazily-registered family this test fails to trigger):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("exposed by /metrics but not in DESIGN.md's instrumentation map — add a row:\n  %s",
+			strings.Join(undocumented, "\n  "))
+	}
+	if len(mistyped) > 0 {
+		t.Errorf("type drift:\n  %s", strings.Join(mistyped, "\n  "))
+	}
+}

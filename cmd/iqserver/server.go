@@ -56,6 +56,7 @@ import (
 
 	"iq"
 	"iq/internal/obs"
+	"iq/internal/obs/workload"
 )
 
 // serverConfig bounds one server's resource envelope. The zero value of a
@@ -105,6 +106,21 @@ func defaultConfig() serverConfig {
 	}
 }
 
+// Event counters that fire rarely (throttling, timeouts, panics) are package
+// vars rather than get-or-created at the event site: registration at init
+// keeps the families present in /metrics from the first scrape, so dashboards
+// and the DESIGN.md drift test see them without having to provoke a 429.
+var (
+	mThrottled = obs.Default.Counter("iq_http_throttled_total",
+		"Solver requests refused by the admission semaphore.")
+	mTimeouts = obs.Default.Counter("iq_http_timeouts_total",
+		"Solves that exhausted their deadline.")
+	mPanics = obs.Default.Counter("iq_http_panics_total",
+		"Handler panics converted to 500s.")
+	mBatchItems = obs.Default.Counter("iq_http_batch_items_total",
+		"Solve items received via /v1/solve/batch.")
+)
+
 // server wraps a System with an HTTP handler. iq.System is itself safe for
 // concurrent use (reads run against immutable epoch snapshots; writes
 // publish new epochs), so the server's RWMutex only guards the sys pointer
@@ -130,6 +146,8 @@ type server struct {
 	inflight chan struct{}
 	// rec is the flight recorder backing /debug/traces; nil when disabled.
 	rec *flightRecorder
+	// start stamps process boot for /v1/stats' uptime_seconds.
+	start time.Time
 }
 
 // system returns the current System pointer without holding the lock past
@@ -140,8 +158,15 @@ func (s *server) system() *iq.System {
 	return s.sys
 }
 
+// currentStore returns the durable Store pointer (nil in in-memory mode).
+func (s *server) currentStore() *iq.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
 func newServer(logger *slog.Logger, cfg serverConfig) *server {
-	s := &server{log: logger, cfg: cfg}
+	s := &server{log: logger, cfg: cfg, start: time.Now()}
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
 	}
@@ -159,6 +184,8 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "POST /v1/load", http.HandlerFunc(s.handleLoad))
 	s.route(mux, "GET /v1/stats", http.HandlerFunc(s.handleStats))
+	s.route(mux, "GET /v1/stats/workload", http.HandlerFunc(s.handleWorkloadStats))
+	s.route(mux, "GET /debug/workload", http.HandlerFunc(s.handleDebugWorkload))
 	s.route(mux, "POST /v1/mincost", s.admit(http.HandlerFunc(s.handleMinCost)))
 	s.route(mux, "POST /v1/maxhit", s.admit(http.HandlerFunc(s.handleMaxHit)))
 	s.route(mux, "POST /v1/solve/batch", s.admit(http.HandlerFunc(s.handleSolveBatch)))
@@ -264,11 +291,9 @@ func (s *server) instrument(route string, next http.Handler) http.Handler {
 			"route", route, "class", fmt.Sprintf("%dxx", status/100)).Inc()
 		switch status {
 		case http.StatusTooManyRequests:
-			obs.Default.Counter("iq_http_throttled_total",
-				"Solver requests refused by the admission semaphore.").Inc()
+			mThrottled.Inc()
 		case http.StatusGatewayTimeout:
-			obs.Default.Counter("iq_http_timeouts_total",
-				"Solves that exhausted their deadline.").Inc()
+			mTimeouts.Inc()
 		}
 		lvl := slog.LevelInfo
 		if status >= 500 {
@@ -293,8 +318,7 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				obs.Default.Counter("iq_http_panics_total",
-					"Handler panics converted to 500s.").Inc()
+				mPanics.Inc()
 				s.log.ErrorContext(r.Context(), "handler panic",
 					"method", r.Method,
 					"path", r.URL.Path,
@@ -313,6 +337,12 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 // goroutines, scheduling latency) so one scrape covers both the engine and
 // the process hosting it.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Scrape-time refreshes: the per-region gauge families from the workload
+	// window, and the Store's on-disk footprint gauges. Both are cold-path.
+	workload.Default.Publish(workload.DefaultTopN)
+	if st := s.currentStore(); st != nil {
+		st.DurabilityStatus()
+	}
 	w.Header().Set("Content-Type", obs.ContentType)
 	if err := obs.Default.WritePrometheus(w); err != nil {
 		s.log.Error("metrics exposition failed", "err", err)
@@ -662,17 +692,23 @@ func (s *server) withSystemExclusive(w http.ResponseWriter, fn func(*iq.System))
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.withSystem(w, func(sys *iq.System) {
 		st := sys.IndexStats()
-		s.writeJSON(w, http.StatusOK, map[string]any{
-			"objects":    sys.NumObjects(),
-			"queries":    st.Queries,
-			"subdomains": st.Subdomains,
-			"candidates": st.Candidates,
-			"size_bytes": st.SizeBytes,
-			"epoch":      int(sys.Epoch()),
+		payload := map[string]any{
+			"objects":        sys.NumObjects(),
+			"queries":        st.Queries,
+			"subdomains":     st.Subdomains,
+			"candidates":     st.Candidates,
+			"size_bytes":     st.SizeBytes,
+			"epoch":          int(sys.Epoch()),
+			"uptime_seconds": time.Since(s.start).Seconds(),
 			// Every registered series, flattened name{labels} -> value:
 			// the /metrics content for clients that prefer JSON.
 			"counters": obs.Default.Snapshot(),
-		})
+		}
+		if store := s.currentStore(); store != nil {
+			payload["recovery"] = store.RecoveryStats()
+			payload["durability"] = store.DurabilityStatus()
+		}
+		s.writeJSON(w, http.StatusOK, payload)
 	})
 }
 
@@ -830,8 +866,7 @@ func (s *server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.solveContext(r, req.TimeoutMS)
 		defer cancel()
-		obs.Default.Counter("iq_http_batch_items_total",
-			"Solve items received via /v1/solve/batch.").Add(int64(len(items)))
+		mBatchItems.Add(int64(len(items)))
 		for i, br := range sys.SolveBatchCtx(ctx, items) {
 			if br.Err != nil {
 				resp.Results[i] = batchItemResponse{Error: br.Err.Error()}

@@ -32,7 +32,26 @@ func main() {
 	crashStateFile := flag.String("crash-state", "crash-acked.txt",
 		"acknowledged-epoch log written by -crash-spray and read by -crash-verify")
 	crashFar := flag.Int("crash-far", 0, "far-object id for -crash-spray (from -crash-drive output)")
+	analyze := flag.Bool("analyze", false,
+		"drive a skewed demo workload in-process and print the per-region workload report plus a shard proposal")
+	analyzeSrv := flag.String("analyze-server", "",
+		"drive a live iqserver at this base URL with the skewed demo, then fetch and validate /v1/stats/workload (scripts/analyzecheck.sh)")
+	shards := flag.Int("shards", 4, "shard count the analyze modes request from the advisor")
 	flag.Parse()
+	if *analyzeSrv != "" {
+		if err := analyzeServer(os.Stdout, *analyzeSrv, *seed, *shards, *scrapeWait); err != nil {
+			fmt.Fprintf(os.Stderr, "iqtool: analyze-server %s: %v\n", *analyzeSrv, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *analyze {
+		if err := analyzeLocal(os.Stdout, *seed, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "iqtool: analyze: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *crashDriveURL != "" {
 		if err := crashDrive(os.Stdout, *crashDriveURL, *seed, *scrapeWait); err != nil {
 			fmt.Fprintf(os.Stderr, "iqtool: crash-drive: %v\n", err)

@@ -97,28 +97,29 @@ func (o OpenOptions) walOptions() wal.Options {
 	return wal.Options{Policy: o.Fsync, Interval: o.FsyncInterval, Logger: o.Logger}
 }
 
-// RecoveryStats summarises what Open found and did.
+// RecoveryStats summarises what Open found and did. The JSON shape is the
+// /v1/stats "recovery" payload.
 type RecoveryStats struct {
 	// Recovered reports whether a dataset was found; false for a fresh
 	// (empty) data directory.
-	Recovered bool
+	Recovered bool `json:"recovered"`
 	// Generation is the recovered dataset generation.
-	Generation uint64
+	Generation uint64 `json:"generation"`
 	// CheckpointEpoch is the epoch the loaded snapshot carried.
-	CheckpointEpoch uint64
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
 	// Epoch is the final epoch after WAL replay — the exact pre-crash epoch.
-	Epoch uint64
+	Epoch uint64 `json:"epoch"`
 	// ReplayedTxns / ReplayedRecords count the WAL tail applied on top of
 	// the checkpoint.
-	ReplayedTxns    int
-	ReplayedRecords int
+	ReplayedTxns    int `json:"replayed_txns"`
+	ReplayedRecords int `json:"replayed_records"`
 	// TruncatedRecords / TruncatedBytes / RolledBackTxns count tail damage
 	// recovery repaired (torn writes from the crash, uncommitted batches).
-	TruncatedRecords int
-	TruncatedBytes   int64
-	RolledBackTxns   int
+	TruncatedRecords int   `json:"truncated_records"`
+	TruncatedBytes   int64 `json:"truncated_bytes"`
+	RolledBackTxns   int   `json:"rolled_back_txns"`
 	// Duration is wall time spent in Open.
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 }
 
 var (
@@ -132,6 +133,14 @@ var (
 	mCheckpointSeconds = obs.Default.Histogram("iq_checkpoint_duration_seconds",
 		"Wall time of snapshot write + log truncation.",
 		[]float64{0.001, 0.01, 0.1, 1, 10})
+	// The three gauges below are refreshed on demand by
+	// (*Store).DurabilityStatus — scrape-time state, not event deltas.
+	mWALLiveBytes = obs.Default.Gauge("iq_wal_live_bytes",
+		"Bytes in the active generation's WAL segments — replay work a crash right now would incur.")
+	mWALSegments = obs.Default.Gauge("iq_wal_segments",
+		"WAL segment files in the active generation.")
+	mCheckpointAge = obs.Default.Gauge("iq_checkpoint_age_seconds",
+		"Seconds since the newest durable checkpoint was written (0 when no Store is attached).")
 )
 
 // Store is a System's durable home: it owns the data directory, the active
@@ -153,12 +162,13 @@ type Store struct {
 	// Taken before smu / the System's writer mutex, never while holding them.
 	attachMu sync.Mutex
 
-	smu            sync.Mutex // guards the fields below
-	system         *System
-	log            *wal.Log
-	gen            uint64
-	lastCheckpoint uint64 // epoch of the newest durable checkpoint
-	closed         bool
+	smu              sync.Mutex // guards the fields below
+	system           *System
+	log              *wal.Log
+	gen              uint64
+	lastCheckpoint   uint64    // epoch of the newest durable checkpoint
+	lastCheckpointAt time.Time // when that checkpoint became durable
+	closed           bool
 
 	stats RecoveryStats // written once by Open
 }
@@ -292,6 +302,12 @@ func OpenCtx(ctx context.Context, dir string, opts OpenOptions) (*Store, error) 
 	}
 	st.system, st.log, st.gen = sys, wlog, gen
 	st.lastCheckpoint = st.stats.CheckpointEpoch
+	// The recovered checkpoint's age predates this process: date it by the
+	// file's mtime, falling back to now if the stat fails.
+	st.lastCheckpointAt = time.Now()
+	if fi, err := os.Stat(filepath.Join(dir, checkpointName(gen))); err == nil {
+		st.lastCheckpointAt = fi.ModTime()
+	}
 	sys.mu.Lock()
 	sys.dur = st
 	sys.mu.Unlock()
@@ -391,6 +407,7 @@ func (s *Store) Attach(ctx context.Context, sys *System) error {
 	s.smu.Lock()
 	s.system, s.log, s.gen = sys, wlog, gen
 	s.lastCheckpoint = epoch
+	s.lastCheckpointAt = time.Now()
 	s.smu.Unlock()
 	sys.mu.Lock()
 	sys.dur = s
@@ -511,6 +528,7 @@ func (s *Store) CheckpointCtx(ctx context.Context) error {
 	s.smu.Lock()
 	if s.lastCheckpoint < st.epoch {
 		s.lastCheckpoint = st.epoch
+		s.lastCheckpointAt = time.Now()
 	}
 	s.smu.Unlock()
 	span.SetAttr("epoch", st.epoch)
@@ -519,6 +537,54 @@ func (s *Store) CheckpointCtx(ctx context.Context) error {
 	mCheckpointSeconds.Observe(time.Since(start).Seconds())
 	s.opts.logger().Info("iq: checkpoint written", "generation", gen, "epoch", st.epoch)
 	return nil
+}
+
+// DurabilityStatus is a point-in-time view of the Store's on-disk footprint,
+// refreshed on demand (at /metrics scrape or /v1/stats) rather than tracked
+// by deltas: listing a handful of segment files is cheap and can never drift
+// from the directory's actual contents.
+type DurabilityStatus struct {
+	// Generation is the active dataset generation.
+	Generation uint64 `json:"generation"`
+	// WALSegments / WALLiveBytes describe the active generation's log: how
+	// many segment files exist and how many bytes a recovery would replay.
+	WALSegments  int   `json:"wal_segments"`
+	WALLiveBytes int64 `json:"wal_live_bytes"`
+	// CheckpointEpoch is the epoch of the newest durable checkpoint;
+	// CheckpointAgeSeconds is how long ago it became durable.
+	CheckpointEpoch      uint64  `json:"checkpoint_epoch"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"`
+}
+
+// DurabilityStatus lists the active generation's WAL segments, sums their
+// sizes, and refreshes the iq_wal_live_bytes / iq_wal_segments /
+// iq_checkpoint_age_seconds gauges from what it finds. Returns the zero
+// status when the Store has no attached dataset yet.
+func (s *Store) DurabilityStatus() DurabilityStatus {
+	s.smu.Lock()
+	gen, cpEpoch, cpAt := s.gen, s.lastCheckpoint, s.lastCheckpointAt
+	s.smu.Unlock()
+	var ds DurabilityStatus
+	if gen == 0 {
+		return ds
+	}
+	ds.Generation = gen
+	ds.CheckpointEpoch = cpEpoch
+	if !cpAt.IsZero() {
+		ds.CheckpointAgeSeconds = time.Since(cpAt).Seconds()
+	}
+	if refs, err := wal.ListSegments(s.dir, gen); err == nil {
+		ds.WALSegments = len(refs)
+		for _, ref := range refs {
+			if fi, err := os.Stat(ref.Path); err == nil {
+				ds.WALLiveBytes += fi.Size()
+			}
+		}
+	}
+	mWALLiveBytes.Set(ds.WALLiveBytes)
+	mWALSegments.Set(int64(ds.WALSegments))
+	mCheckpointAge.Set(int64(ds.CheckpointAgeSeconds))
+	return ds
 }
 
 // Sync forces the WAL to stable storage regardless of fsync policy — a

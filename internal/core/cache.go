@@ -198,11 +198,13 @@ func cachedHitThreshold(idx *subdomain.Index, target, j int, sc *probeScratch, r
 			e.mu.RUnlock()
 			mThresholdCacheHits.Inc()
 			rec.thresholdLookup(true)
+			sc.noteThreshold(true)
 			return v, true
 		case thrUnbounded:
 			e.mu.RUnlock()
 			mThresholdCacheHits.Inc()
 			rec.thresholdLookup(true)
+			sc.noteThreshold(true)
 			return 0, false
 		}
 	}
@@ -210,6 +212,7 @@ func cachedHitThreshold(idx *subdomain.Index, target, j int, sc *probeScratch, r
 	v, bounded := hitThreshold(idx, target, j, sc)
 	mThresholdCacheMisses.Inc()
 	rec.thresholdLookup(false)
+	sc.noteThreshold(false)
 	n := idx.Workload().NumQueries()
 	e.mu.Lock()
 	if e.epoch != epoch || len(e.state) != n {

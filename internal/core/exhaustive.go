@@ -46,7 +46,7 @@ func ExhaustiveMinCostCtx(ctx context.Context, idx *subdomain.Index, req MinCost
 	ctx, span := startSolveSpan(ctx, "mincost-exhaustive")
 	rec := newRecorder()
 	res, err := exhaustiveMinCostSolve(ctx, idx, req, rec)
-	st := finishSolve(ctx, "mincost-exhaustive", start, rec, 0, err)
+	st := finishSolve(ctx, "mincost-exhaustive", req.Target, start, rec, 0, err)
 	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st
@@ -149,7 +149,7 @@ func ExhaustiveMaxHitCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRe
 	ctx, span := startSolveSpan(ctx, "maxhit-exhaustive")
 	rec := newRecorder()
 	res, err := exhaustiveMaxHitSolve(ctx, idx, req, rec)
-	st := finishSolve(ctx, "maxhit-exhaustive", start, rec, 0, err)
+	st := finishSolve(ctx, "maxhit-exhaustive", req.Target, start, rec, 0, err)
 	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st

@@ -56,7 +56,7 @@ func MaxHitIQCtx(ctx context.Context, idx *subdomain.Index, req MaxHitRequest) (
 	if res != nil {
 		rounds = res.Iterations
 	}
-	st := finishSolve(ctx, "maxhit", start, rec, rounds, err)
+	st := finishSolve(ctx, "maxhit", req.Target, start, rec, rounds, err)
 	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st

@@ -81,7 +81,7 @@ func MinCostIQCtx(ctx context.Context, idx *subdomain.Index, req MinCostRequest)
 	if res != nil {
 		rounds = res.Iterations
 	}
-	st := finishSolve(ctx, "mincost", start, rec, rounds, err)
+	st := finishSolve(ctx, "mincost", req.Target, start, rec, rounds, err)
 	endSolveSpan(span, st, err)
 	if res != nil {
 		res.Stats = st

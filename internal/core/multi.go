@@ -245,7 +245,7 @@ func CombinatorialMinCostIQCtx(ctx context.Context, idx *subdomain.Index, specs 
 	if res != nil {
 		rounds = res.Iterations
 	}
-	stats := finishSolve(ctx, "mincost-multi", start, rec, rounds, err)
+	stats := finishSolve(ctx, "mincost-multi", -1, start, rec, rounds, err)
 	endSolveSpan(span, stats, err)
 	if res != nil {
 		res.Stats = stats
@@ -332,7 +332,7 @@ func CombinatorialMaxHitIQCtx(ctx context.Context, idx *subdomain.Index, specs [
 	if res != nil {
 		rounds = res.Iterations
 	}
-	stats := finishSolve(ctx, "maxhit-multi", start, rec, rounds, err)
+	stats := finishSolve(ctx, "maxhit-multi", -1, start, rec, rounds, err)
 	endSolveSpan(span, stats, err)
 	if res != nil {
 		res.Stats = stats

@@ -53,6 +53,40 @@ type probeScratch struct {
 	coeff    vec.Vector // coeff(target)+cur for the linear closed form
 	lo, hi   vec.Vector // shifted bounds backing stores
 	bounds   Bounds     // aliases lo/hi so no Bounds escapes per probe
+	// counts aliases the solve's dense per-query attribution table
+	// (roundScratch.counts; nil while analytics are off). Each round probes a
+	// query from exactly one worker (slot striding) and rounds are separated
+	// by the fan-out join, so plain increments need no synchronisation. cur
+	// holds the in-flight probe's query index so the threshold-cache path can
+	// attribute its hit/miss without a second table lookup. Region resolution
+	// is deferred to the per-solve flush (recorder.regionSamples), keeping
+	// the probe hot path to two array writes.
+	counts []queryCounts
+	cur    int
+}
+
+// queryCounts is one query's row in a solve's dense attribution table.
+type queryCounts struct {
+	probes, thrHits, thrMisses int32
+}
+
+// noteThreshold attributes one threshold-cache lookup to the in-flight
+// probe's query. Nil-safe; a no-op unless analytics attribution is on.
+func (sc *probeScratch) noteThreshold(hit bool) {
+	if sc == nil || sc.counts == nil {
+		return
+	}
+	if hit {
+		sc.counts[sc.cur].thrHits++
+	} else {
+		sc.counts[sc.cur].thrMisses++
+	}
+}
+
+// noteProbe charges one probe to query j's row.
+func (sc *probeScratch) noteProbe(j int) {
+	sc.counts[j].probes++
+	sc.cur = j
 }
 
 // hitThreshold computes the score the improved target must beat at query j:
@@ -257,6 +291,12 @@ type roundScratch struct {
 	cands   []Candidate
 	probes  []probeScratch // indexed by worker
 	embed   []vec.Vector   // per-worker improved-coefficient buffers
+	// counts is the solve's dense per-query attribution table (one row per
+	// workload query, allocated once per solve while analytics are on). All
+	// workers write into it through their probeScratch; rows accumulate
+	// across rounds and are folded into per-region samples once, at
+	// finishSolve.
+	counts []queryCounts
 }
 
 // generateCandidates implements the shared inner loop of Algorithms 3 and 4
@@ -303,12 +343,24 @@ func generateCandidates(ctx context.Context, idx *subdomain.Index, pool []*ese.E
 		rs.probes = make([]probeScratch, len(pool))
 		rs.embed = make([]vec.Vector, len(pool))
 	}
+	if rec.attrib {
+		if rs.counts == nil {
+			rs.counts = make([]queryCounts, w.NumQueries())
+			rec.rs, rec.idx = rs, idx
+		}
+		for i := range rs.probes {
+			rs.probes[i].counts = rs.counts
+		}
+	}
 	linear := w.Space().Linear()
 	attrs := w.Attrs(target)
 	probe := func(pctx context.Context, ev *ese.Evaluator, wkr, slot int) {
 		fireProbe(slot)
 		t0 := rec.probeStart()
 		j := unhit[slot]
+		if rec.attrib {
+			rs.probes[wkr].noteProbe(j)
+		}
 		pctx, psp := obs.StartSpan(pctx, "probe")
 		psp.SetAttr("query", j)
 		u, err := solveHit(idx, target, cur, j, cost, bounds, &rs.probes[wkr], rec)

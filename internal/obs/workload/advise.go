@@ -1,0 +1,129 @@
+package workload
+
+import "sort"
+
+// The shard advisor: given the windowed per-region load map, propose k
+// contiguous query-space shards. Regions are linearised along their Pos axis
+// (position ties broken by region ID, so the order is total and stable) and
+// the partition minimises the maximum shard load over all contiguous k-way
+// splits — computed exactly with a parametric search (binary search on the
+// max-load bound, greedy feasibility check), which is deterministic: the
+// same snapshot always yields the same proposal, byte for byte.
+
+// Shard is one proposed contiguous slice of query space.
+type Shard struct {
+	// Regions lists the member region IDs in linearisation order.
+	Regions []uint64 `json:"regions"`
+	// PosMin/PosMax bound the member regions' positions.
+	PosMin float64 `json:"pos_min"`
+	PosMax float64 `json:"pos_max"`
+	// LoadNS is the shard's summed attributed load.
+	LoadNS int64 `json:"load_ns"`
+	// Share is LoadNS over the proposal's total load (0 when idle).
+	Share float64 `json:"share"`
+}
+
+// Proposal is the advisor's output for one Advise(k) call.
+type Proposal struct {
+	// K is the requested shard count; len(Shards) can be smaller when fewer
+	// regions carry load.
+	K      int     `json:"k"`
+	Shards []Shard `json:"shards"`
+	// TotalLoadNS / MeanLoadNS / MaxLoadNS summarise the predicted balance;
+	// Imbalance is MaxLoadNS over MeanLoadNS (1.0 = perfectly balanced).
+	TotalLoadNS int64   `json:"total_load_ns"`
+	MeanLoadNS  float64 `json:"mean_load_ns"`
+	MaxLoadNS   int64   `json:"max_load_ns"`
+	Imbalance   float64 `json:"imbalance"`
+}
+
+// Advise proposes a contiguous k-way sharding of the snapshot's regions by
+// windowed load. The overflow slot is excluded — it is not a place. Returns
+// nil when the snapshot has no regions or k < 1.
+func (s *Snapshot) Advise(k int) *Proposal {
+	if k < 1 || len(s.Regions) == 0 {
+		return nil
+	}
+	// Linearise: sort by (Pos, Region) ascending.
+	regs := append([]RegionStat(nil), s.Regions...)
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Pos != regs[j].Pos {
+			return regs[i].Pos < regs[j].Pos
+		}
+		return regs[i].Region < regs[j].Region
+	})
+	if k > len(regs) {
+		k = len(regs)
+	}
+	loads := make([]int64, len(regs))
+	var total, maxOne int64
+	for i := range regs {
+		loads[i] = regs[i].LoadNS
+		total += loads[i]
+		if loads[i] > maxOne {
+			maxOne = loads[i]
+		}
+	}
+	// Binary search the minimal feasible max-shard load.
+	lo, hi := maxOne, total
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if shardsNeeded(loads, mid) <= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bound := lo
+	// Greedy assignment under the optimal cap, left to right. The greedy fill
+	// uses the fewest shards for this cap, so it fits in k; remaining shards
+	// (when trailing regions are idle) are simply not emitted.
+	p := &Proposal{K: k, TotalLoadNS: total}
+	var cur *Shard
+	var curLoad int64
+	for i := range regs {
+		if cur == nil || (curLoad+loads[i] > bound && curLoad > 0) {
+			p.Shards = append(p.Shards, Shard{PosMin: regs[i].Pos, PosMax: regs[i].Pos})
+			cur = &p.Shards[len(p.Shards)-1]
+			curLoad = 0
+		}
+		cur.Regions = append(cur.Regions, regs[i].Region)
+		if regs[i].Pos < cur.PosMin {
+			cur.PosMin = regs[i].Pos
+		}
+		if regs[i].Pos > cur.PosMax {
+			cur.PosMax = regs[i].Pos
+		}
+		curLoad += loads[i]
+		cur.LoadNS = curLoad
+	}
+	for i := range p.Shards {
+		if p.Shards[i].LoadNS > p.MaxLoadNS {
+			p.MaxLoadNS = p.Shards[i].LoadNS
+		}
+		if total > 0 {
+			p.Shards[i].Share = float64(p.Shards[i].LoadNS) / float64(total)
+		}
+	}
+	if len(p.Shards) > 0 {
+		p.MeanLoadNS = float64(total) / float64(len(p.Shards))
+	}
+	if p.MeanLoadNS > 0 {
+		p.Imbalance = float64(p.MaxLoadNS) / p.MeanLoadNS
+	}
+	return p
+}
+
+// shardsNeeded counts the shards a greedy left-to-right fill needs so no
+// shard exceeds cap. Zero-load runs merge into their neighbour.
+func shardsNeeded(loads []int64, bound int64) int {
+	n, cur := 1, int64(0)
+	for _, l := range loads {
+		if cur+l > bound && cur > 0 {
+			n++
+			cur = 0
+		}
+		cur += l
+	}
+	return n
+}

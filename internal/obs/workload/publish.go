@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"strconv"
+	"sync"
+
+	"iq/internal/obs"
+)
+
+// Prometheus exposure. Per-region series are a cardinality hazard — regions
+// are minted for the life of the process — so only the top-N regions by
+// windowed load get real series, the overflow slot always has one (which
+// also keeps every iq_region_* family present in the exposition even on an
+// idle server), and the lifetime number of distinct region labels is capped:
+// beyond maxPublishedRegions a hot newcomer is not published (the JSON
+// endpoint still reports it; scrapers see the cap as iq_region_published
+// saturating). Regions that drop out of the top-N are zeroed, not deleted —
+// the obs registry is append-only by design.
+
+const (
+	// DefaultTopN is the number of regions given live Prometheus series.
+	DefaultTopN = 16
+	// maxPublishedRegions caps lifetime distinct region labels.
+	maxPublishedRegions = 64
+)
+
+type publisher struct {
+	mu        sync.Mutex
+	published map[uint64]string // region -> label
+}
+
+func regionGauge(name, help, label string) *obs.Gauge {
+	return obs.Default.Gauge(name, help, "region", label)
+}
+
+var regionFamilies = []struct{ name, help string }{
+	{"iq_region_load_nanoseconds", "Windowed solve wall time attributed to the region (probe-weighted)."},
+	{"iq_region_solves", "Windowed solves that touched the region."},
+	{"iq_region_probes", "Windowed candidate probes landing in the region."},
+	{"iq_region_threshold_hits", "Windowed threshold-cache hits for the region's queries."},
+	{"iq_region_threshold_misses", "Windowed threshold-cache misses for the region's queries."},
+	{"iq_region_churn", "Windowed dirty-set queries committed in the region."},
+}
+
+func publishRegion(label string, st RegionStat) {
+	vals := [...]int64{st.LoadNS, st.Solves, st.Probes, st.ThrHits, st.ThrMisses, st.Churn}
+	for i, f := range regionFamilies {
+		regionGauge(f.name, f.help, label).Set(vals[i])
+	}
+}
+
+// Publish refreshes the iq_region_* gauge families from the current window:
+// the top-N regions by load, the overflow slot, and the aggregate gauges.
+// Call it at scrape time (it is cold-path: one snapshot plus a few dozen
+// registry lookups).
+func (a *Aggregator) Publish(topN int) {
+	if topN <= 0 {
+		topN = DefaultTopN
+	}
+	snap := a.Snapshot()
+	a.pub.mu.Lock()
+	defer a.pub.mu.Unlock()
+	if a.pub.published == nil {
+		a.pub.published = map[uint64]string{}
+	}
+	live := map[uint64]bool{}
+	for i, r := range snap.Regions {
+		if i >= topN {
+			break
+		}
+		label, ok := a.pub.published[r.Region]
+		if !ok {
+			if len(a.pub.published) >= maxPublishedRegions {
+				continue
+			}
+			label = strconv.FormatUint(r.Region, 10)
+			a.pub.published[r.Region] = label
+		}
+		live[r.Region] = true
+		publishRegion(label, r)
+	}
+	for region, label := range a.pub.published {
+		if !live[region] {
+			publishRegion(label, RegionStat{})
+		}
+	}
+	publishRegion("overflow", snap.Overflow)
+	obs.Default.Gauge("iq_regions_tracked",
+		"Attribution keys currently tracked by the workload aggregator.").Set(snap.TrackedKeys)
+	obs.Default.Gauge("iq_region_published",
+		"Regions with live Prometheus series (capped; the JSON endpoint is unbounded).").Set(int64(len(a.pub.published)))
+	obs.Default.Gauge("iq_region_overflow_records",
+		"Records folded into the overflow slot by the cardinality cap (cumulative).").Set(snap.OverflowRecs)
+	obs.Default.Gauge("iq_region_dropped_keys",
+		"Attribution-key inserts rejected by the cardinality cap (cumulative).").Set(snap.DroppedKeys)
+	obs.Default.Gauge("iq_workload_window_seconds",
+		"Span of the workload analytics sliding window.").Set(int64(snap.Window.Seconds))
+}

@@ -1,0 +1,225 @@
+package subdomain
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"iq/internal/vec"
+)
+
+// regionMembers maps every live region ID to its sorted query membership.
+func regionMembers(x *Index) map[uint64][]int {
+	out := map[uint64][]int{}
+	w := x.Workload()
+	for j := 0; j < w.NumQueries(); j++ {
+		if r := x.RegionOf(j); r != 0 {
+			out[r] = append(out[r], j)
+		}
+	}
+	for _, mem := range out {
+		sort.Ints(mem)
+	}
+	return out
+}
+
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyRandomObjectMutation applies one object-level mutation. Object
+// mutations are the region-lifecycle property's domain: they only ever
+// dissolve whole subdomains and repartition, never edit a subdomain's
+// membership in place (query removal does, and legitimately keeps the
+// region), so the inherit-or-reset protocol's full contract is checkable.
+func applyRandomObjectMutation(t *testing.T, rng *rand.Rand, idx *Index) string {
+	t.Helper()
+	w := idx.Workload()
+	for {
+		switch rng.Intn(4) {
+		case 0:
+			id := rng.Intn(w.NumObjects())
+			if w.IsRemoved(id) {
+				continue
+			}
+			attrs := vec.Clone(w.Attrs(id))
+			for i := range attrs {
+				attrs[i] += (rng.Float64() - 0.6) * 0.3
+			}
+			if err := idx.UpdateObject(id, attrs); err != nil {
+				t.Fatal(err)
+			}
+			return "update-object"
+		case 1:
+			id := rng.Intn(w.NumObjects())
+			if w.IsRemoved(id) {
+				continue
+			}
+			attrs := vec.Clone(w.Attrs(id))
+			for i := range attrs {
+				attrs[i] += rng.Float64() * 0.5
+			}
+			if err := idx.UpdateObject(id, attrs); err != nil {
+				t.Fatal(err)
+			}
+			return "degrade-object"
+		case 2:
+			if _, err := idx.AddObject(randVec(rng, len(w.Attrs(0)))); err != nil {
+				t.Fatal(err)
+			}
+			return "add-object"
+		default:
+			id := rng.Intn(w.NumObjects())
+			if w.IsRemoved(id) || w.LiveObjects() < 10 {
+				continue
+			}
+			if err := idx.RemoveObject(id); err != nil {
+				t.Fatal(err)
+			}
+			return "remove-object"
+		}
+	}
+}
+
+// TestRegionLifecycleProperty is the attribution-soundness property test:
+// across random object mutations, a region ID that survives a step has
+// byte-identical query membership, a region ID that disappears shows up in
+// TakeRegionResets exactly once (counted on iq_region_reset_total), and a
+// terminated ID is never minted again. Together these guarantee per-region
+// statistics are either still about the same query set or explicitly
+// retired — never silently re-pointed at different queries.
+func TestRegionLifecycleProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			idx := buildRandom(t, rng, 40, 30, 3, 3, Options{})
+			if resets := idx.TakeRegionResets(); len(resets) != 0 {
+				t.Fatalf("fresh build reported resets: %v", resets)
+			}
+			retired := map[uint64]bool{}
+			resetsBefore := mRegionResets.Value()
+			var totalResets int64
+			for step := 0; step < 30; step++ {
+				before := regionMembers(idx)
+				op := applyRandomObjectMutation(t, rng, idx)
+				resets := idx.TakeRegionResets()
+				totalResets += int64(len(resets))
+				after := regionMembers(idx)
+
+				resetSet := map[uint64]bool{}
+				for _, r := range resets {
+					if retired[r] {
+						t.Fatalf("seed %d step %d (%s): region %d reset twice", seed, step, op, r)
+					}
+					if resetSet[r] {
+						t.Fatalf("seed %d step %d (%s): region %d reset twice in one step", seed, step, op, r)
+					}
+					resetSet[r] = true
+					retired[r] = true
+					if _, live := after[r]; live {
+						t.Fatalf("seed %d step %d (%s): region %d reset but still live", seed, step, op, r)
+					}
+				}
+				for r, mem := range after {
+					if retired[r] {
+						t.Fatalf("seed %d step %d (%s): terminated region %d reincarnated", seed, step, op, r)
+					}
+					if bmem, ok := before[r]; ok && !sameMembers(mem, bmem) {
+						t.Fatalf("seed %d step %d (%s): region %d survived with different membership %v -> %v",
+							seed, step, op, r, bmem, mem)
+					}
+				}
+				for r := range before {
+					if _, ok := after[r]; !ok && !resetSet[r] {
+						t.Fatalf("seed %d step %d (%s): region %d vanished without a reset", seed, step, op, r)
+					}
+				}
+			}
+			if got := mRegionResets.Value() - resetsBefore; got != totalResets {
+				t.Fatalf("iq_region_reset_total advanced %d, want %d", got, totalResets)
+			}
+		})
+	}
+}
+
+// TestRegionBatchLifecycle runs the same contract through a Begin/End batch:
+// resets from the coalesced repartition surface once, at EndBatch.
+func TestRegionBatchLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	idx := buildRandom(t, rng, 40, 30, 3, 3, Options{})
+	idx.TakeRegionResets()
+	before := regionMembers(idx)
+
+	idx.BeginBatch()
+	for i := 0; i < 6; i++ {
+		applyRandomObjectMutation(t, rng, idx)
+	}
+	idx.EndBatch()
+	resets := idx.TakeRegionResets()
+	after := regionMembers(idx)
+	resetSet := map[uint64]bool{}
+	for _, r := range resets {
+		resetSet[r] = true
+		if _, live := after[r]; live {
+			t.Fatalf("region %d reset but still live after batch", r)
+		}
+	}
+	for r, mem := range after {
+		if bmem, ok := before[r]; ok && !sameMembers(mem, bmem) {
+			t.Fatalf("region %d survived batch with different membership %v -> %v", r, bmem, mem)
+		}
+	}
+	for r := range before {
+		if _, ok := after[r]; !ok && !resetSet[r] {
+			t.Fatalf("region %d vanished across batch without a reset", r)
+		}
+	}
+}
+
+// TestRegionCloneIndependence: a clone inherits regions and lineage state;
+// mutating the clone must not disturb the original's regions (the COW write
+// path depends on this).
+func TestRegionCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	idx := buildRandom(t, rng, 40, 30, 3, 3, Options{})
+	idx.TakeRegionResets()
+	origBefore := regionMembers(idx)
+
+	w2 := idx.Workload().Clone()
+	clone := idx.Clone(w2)
+	if got := regionMembers(clone); len(got) != len(origBefore) {
+		t.Fatalf("clone regions differ: %d vs %d", len(got), len(origBefore))
+	}
+	for i := 0; i < 10; i++ {
+		applyRandomObjectMutation(t, rng, clone)
+	}
+	if got := regionMembers(idx); len(got) != len(origBefore) {
+		t.Fatalf("mutating clone disturbed original: %d vs %d regions", len(got), len(origBefore))
+	}
+	for r, mem := range regionMembers(idx) {
+		if !sameMembers(mem, origBefore[r]) {
+			t.Fatalf("original region %d membership changed under clone mutation", r)
+		}
+	}
+	// Region IDs minted by the clone never collide with the original's: the
+	// clone copied nextRegion, and the original is immutable from here on.
+	for r := range regionMembers(clone) {
+		if _, existed := origBefore[r]; !existed {
+			for rr := range origBefore {
+				if rr == r {
+					t.Fatalf("clone minted colliding region %d", r)
+				}
+			}
+		}
+	}
+}

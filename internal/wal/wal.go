@@ -165,6 +165,9 @@ var (
 		"Bytes appended to the write-ahead log.")
 	mFsyncs = obs.Default.Counter("iq_wal_fsyncs_total",
 		"fsync calls issued by the write-ahead log.")
+	mFsyncSeconds = obs.Default.Histogram("iq_wal_fsync_duration_seconds",
+		"Wall time of WAL fsync calls — the write path's dominant latency under SyncAlways.",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
 	mRotations = obs.Default.Counter("iq_wal_rotations_total",
 		"Segment rotations (one per checkpoint).")
 )
@@ -473,7 +476,10 @@ func (l *Log) syncFile() error {
 		return ErrClosed
 	}
 	mFsyncs.Inc()
-	return f.Sync()
+	start := time.Now()
+	err := f.Sync()
+	mFsyncSeconds.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // Rotate fsyncs and closes the active segment and opens the next one. The

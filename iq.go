@@ -36,12 +36,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"iq/internal/core"
 	"iq/internal/ese"
 	"iq/internal/obs"
+	"iq/internal/obs/workload"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -138,6 +140,17 @@ func DirtyInvalidationEnabled() bool { return core.DirtyInvalidationEnabled() }
 // candidate probe — only worth it when the engine sits on a
 // latency-critical path.
 func SetMetricsEnabled(enabled bool) bool { return obs.SetEnabled(enabled) }
+
+// SetWorkloadAnalyticsEnabled toggles per-region workload attribution (the
+// internal/obs/workload layer: solve and churn attribution by query-space
+// region, the /v1/stats/workload endpoint's data source, and the shard
+// advisor's input), returning the previous setting. Default on. Disabled,
+// the solve hot path pays exactly one atomic load — the recorder samples the
+// switch once per solve and skips all attribution work.
+func SetWorkloadAnalyticsEnabled(enabled bool) bool { return workload.SetEnabled(enabled) }
+
+// WorkloadAnalyticsEnabled reports whether per-region attribution is active.
+func WorkloadAnalyticsEnabled() bool { return workload.Enabled() }
 
 // Trace is a bounded buffer of hierarchical spans recorded during one solve
 // (or any other traced operation). Attach one to a context with WithTrace
@@ -305,9 +318,57 @@ func (s *System) mutateCtx(ctx context.Context, muts []Mutation, fn func(st *sta
 			return err
 		}
 	}
-	core.MigrateSolveCaches(old.idx, next.idx, next.idx.TakeDirty())
+	ds := next.idx.TakeDirty()
+	core.MigrateSolveCaches(old.idx, next.idx, ds)
+	// Region lifecycle bookkeeping for the analytics layer: lineages the
+	// mutation terminated are retired (their accumulated stats must never be
+	// read as a live region's), then the commit's dirty-set churn is
+	// attributed to the surviving regions. Both piggyback on the same drained
+	// dirty set the cache migration used.
+	if resets := next.idx.TakeRegionResets(); len(resets) > 0 {
+		workload.Default.RetireRegions(resets)
+	}
+	recordCommitChurn(next.idx, ds)
 	s.cur.Store(next)
 	return nil
+}
+
+// recordCommitChurn attributes one commit's dirty queries to their regions.
+// A dirty set in "everything changed" mode has no meaningful per-region
+// split and is folded into the aggregator's overflow slot.
+func recordCommitChurn(idx *subdomain.Index, ds *subdomain.DirtySet) {
+	if !workload.Enabled() || ds == nil || ds.Empty() {
+		return
+	}
+	if ds.All() {
+		workload.Default.RecordCommitAll(int64(idx.Workload().NumQueries()))
+		return
+	}
+	churn := map[uint64]*workload.ChurnSample{}
+	ds.ForEachQuery(func(j, _ int) {
+		sd := idx.SubdomainOf(j)
+		if sd == nil {
+			return
+		}
+		c := churn[sd.Region]
+		if c == nil {
+			c = &workload.ChurnSample{
+				Region: sd.Region,
+				Pos:    idx.Workload().Query(sd.Representative()).Point[0],
+			}
+			churn[sd.Region] = c
+		}
+		c.Dirty++
+	})
+	if len(churn) == 0 {
+		return
+	}
+	samples := make([]workload.ChurnSample, 0, len(churn))
+	for _, c := range churn {
+		samples = append(samples, *c)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Region < samples[j].Region })
+	workload.Default.RecordCommit(samples)
 }
 
 // Epoch returns the number of committed writes. Two reads returning the

@@ -17,8 +17,13 @@
 #    must stay within 10% of the in-memory commit path.
 #    Full-scale report: BENCH_PR7.json
 #    (regenerate with: go run ./cmd/iqbench -wal-json BENCH_PR7.json).
+# 4. Workload-analytics A/B (PR 8): per-region attribution must add at most
+#    2% to the solvers (min-of-N attempts; noise can only inflate the
+#    estimate, never deflate it). Full-scale report: BENCH_PR8.json
+#    (regenerate with: go run ./cmd/iqbench -analytics-json BENCH_PR8.json).
 set -eu
 
 go run ./cmd/iqbench -cache-check
 go run ./cmd/iqbench -write-check
 go run ./cmd/iqbench -wal-check
+go run ./cmd/iqbench -analytics-check
