@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck analyzecheck
+.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck analyzecheck healthcheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
@@ -9,7 +9,7 @@ GO ?= go
 # live server to prove the exposition parses end to end. Every test run
 # carries an explicit -timeout so a hung solve fails fast with a goroutine
 # dump instead of stalling CI at the per-package default.
-check: build vet race stress metricscheck tracecheck benchcheck crashcheck analyzecheck
+check: build vet race stress metricscheck tracecheck benchcheck crashcheck analyzecheck healthcheck
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,14 @@ crashcheck:
 # (scripts/analyzecheck.sh).
 analyzecheck:
 	./scripts/analyzecheck.sh
+
+# healthcheck is the live SLO drill: boot an iqserver with an impossible
+# latency target, drive real solves until the multi-window burn-rate alert
+# fires (asserted on both /v1/stats/slo and the WARN log stream), then
+# kill -9 and restart over the same data dir to prove the telemetry history
+# journal survived (scripts/healthcheck.sh).
+healthcheck:
+	./scripts/healthcheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -29,3 +29,8 @@ go test -race -run TestStress -count=2 -timeout 10m ./...
 # workload, and validate /v1/stats/workload, the ?advise=k shard proposal,
 # and /debug/workload end to end.
 ./scripts/analyzecheck.sh
+# Live SLO/telemetry gate: boot a real iqserver with an impossible latency
+# target, drive solves until the burn-rate alert fires (on the stats
+# surface and the log stream), then kill -9 and restart to prove the
+# telemetry history journal survived.
+./scripts/healthcheck.sh

@@ -43,6 +43,10 @@ func main() {
 		walCheck       = flag.Bool("wal-check", false, "run the reduced-scale durability A/B and exit non-zero when -fsync interval commits exceed 110% of the in-memory path (the scripts/benchcheck.sh gate)")
 		analyticsO     = flag.String("analytics-json", "", "write the workload-analytics benchmark report (solver ns/op with per-region attribution on/off, metrics on throughout) to this path and exit")
 		analyticsCheck = flag.Bool("analytics-check", false, "run the workload-analytics A/B and exit non-zero when attribution overhead exceeds 2% (the scripts/benchcheck.sh gate)")
+		healthO        = flag.String("health-json", "", "write the health-subsystem benchmark report (solver ns/op with the history sampler + SLO evaluator live vs disabled) to this path and exit")
+		healthCheck    = flag.Bool("health-check", false, "run the health-subsystem A/B and exit non-zero when its overhead exceeds 2% (the scripts/benchcheck.sh gate)")
+		trend          = flag.Bool("trend", false, "print the cross-PR BENCH_PR*.json performance trajectory and exit non-zero when the newest ledger regresses >10% against the best known same-keyed value")
+		trendDir       = flag.String("trend-dir", ".", "directory holding the BENCH_PR*.json ledgers for -trend")
 	)
 	flag.Parse()
 
@@ -112,6 +116,27 @@ func main() {
 	if *analyticsCheck {
 		if err := runAnalyticsCheck(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "iqbench: -analytics-check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *healthO != "" {
+		if err := runHealthBench(*healthO, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -health-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *healthCheck {
+		if err := runHealthCheck(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -health-check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trend {
+		if err := runTrend(*trendDir); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -trend: %v\n", err)
 			os.Exit(1)
 		}
 		return

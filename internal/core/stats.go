@@ -318,7 +318,7 @@ func finishSolve(ctx context.Context, op string, target int, start time.Time, re
 	obs.Default.Counter("iq_solve_total",
 		"Solves by operation and outcome.", "op", op, "outcome", outcomeOf(err)).Inc()
 	obs.Default.Histogram("iq_solve_duration_seconds",
-		"Solve wall time by operation.", nil, "op", op).Observe(wall.Seconds())
+		"Solve wall time by operation.", obs.SolveDurationBuckets, "op", op).Observe(wall.Seconds())
 	obs.Default.Counter("iq_solve_rounds_total",
 		"Greedy rounds executed.", "op", op).Add(int64(st.Rounds))
 	obs.Default.Counter("iq_solve_probes_total",

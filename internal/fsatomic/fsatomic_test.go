@@ -1,0 +1,62 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	for _, content := range []string{"first", "second, longer than the first"} {
+		if err := WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read back %q, want %q", got, content)
+		}
+	}
+}
+
+func TestWriteFileFailedWriteKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write failure")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "intact" {
+		t.Fatalf("old file damaged by failed write: %q", got)
+	}
+	// No temp debris left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("abandoned temp file %q", e.Name())
+		}
+	}
+}

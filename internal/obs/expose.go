@@ -55,7 +55,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case kindCounter:
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value())
 			case kindGauge:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.g.Value())
+				if s.fg != nil {
+					fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatFloat(s.fg.Value()))
+				} else {
+					fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.g.Value())
+				}
 			case kindHistogram:
 				writeHistogram(bw, f.name, s)
 			}
@@ -111,7 +115,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 			case kindCounter:
 				out[name+s.labels] = float64(s.c.Value())
 			case kindGauge:
-				out[name+s.labels] = float64(s.g.Value())
+				if s.fg != nil {
+					out[name+s.labels] = s.fg.Value()
+				} else {
+					out[name+s.labels] = float64(s.g.Value())
+				}
 			case kindHistogram:
 				out[name+"_count"+s.labels] = float64(s.h.Count())
 				out[name+"_sum"+s.labels] = s.h.Sum()

@@ -1,0 +1,88 @@
+// Gather is the structured (non-text) export of the registry: a point-in-time
+// copy of every family and series with raw values, which the telemetry
+// history sampler diffs interval-to-interval. The text exposition flattens
+// histograms into cumulative bucket lines; Gather keeps the non-cumulative
+// per-bucket counts and upper bounds so a consumer can subtract two gathers
+// and get an exact interval distribution.
+package obs
+
+import "sort"
+
+// SeriesDump is one series' values at gather time. Exactly one of the value
+// groups is meaningful, selected by the owning FamilyDump's Kind.
+type SeriesDump struct {
+	// Labels is the rendered `{k="v",...}` label string ("" for unlabelled).
+	Labels string
+	// Value carries a counter's running total or a gauge's current reading
+	// (float gauges included).
+	Value float64
+	// Uppers are the histogram's bucket upper bounds, ascending, excluding
+	// +Inf. Shared with the live histogram — callers must not mutate.
+	Uppers []float64
+	// Counts are the histogram's non-cumulative per-bucket counts, parallel
+	// to Uppers; Overflow counts observations above the last bound.
+	Counts   []int64
+	Overflow int64
+	// Count/Sum are the histogram's running totals.
+	Count int64
+	Sum   float64
+}
+
+// FamilyDump is one metric family at gather time.
+type FamilyDump struct {
+	Name   string
+	Help   string
+	Kind   string // "counter" | "gauge" | "histogram"
+	Series []SeriesDump
+}
+
+// Gather returns a deterministic snapshot of every family in the registry:
+// families sorted by name, series by label string. Values are read with the
+// same atomics the exposition uses; a concurrent Observe may straddle the
+// gather (count visible before sum) exactly as it may straddle a scrape.
+func (r *Registry) Gather() []FamilyDump {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FamilyDump, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fd := FamilyDump{Name: f.name, Help: f.help, Kind: string(f.kind)}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			sd := SeriesDump{Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				sd.Value = float64(s.c.Value())
+			case kindGauge:
+				if s.fg != nil {
+					sd.Value = s.fg.Value()
+				} else {
+					sd.Value = float64(s.g.Value())
+				}
+			case kindHistogram:
+				h := s.h
+				sd.Uppers = h.uppers
+				sd.Counts = make([]int64, len(h.counts))
+				for i := range h.counts {
+					sd.Counts[i] = h.counts[i].Load()
+				}
+				sd.Overflow = h.overflo.Load()
+				sd.Count = h.Count()
+				sd.Sum = h.Sum()
+			}
+			fd.Series = append(fd.Series, sd)
+		}
+		out = append(out, fd)
+	}
+	return out
+}

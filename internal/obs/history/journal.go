@@ -1,0 +1,188 @@
+// The history journal: newline-delimited JSON under the server's -data-dir,
+// one Sample per line behind a versioned header line. Appends are fsynced —
+// at one write per sampling interval the cost is noise — so the ring's
+// content as of the last tick survives kill -9. Growth is bounded by
+// compaction: when the file exceeds a threshold it is rewritten from the
+// ring (which retention already bounds) with the same atomic
+// tmp+fsync+rename dance the checkpoint writer uses, so a crash mid-compact
+// leaves the previous journal intact.
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"iq/internal/fsatomic"
+)
+
+// journalVersion is bumped on incompatible format changes. A journal with an
+// unknown version is set aside (renamed with a .unsupported suffix) rather
+// than parsed or silently destroyed.
+const journalVersion = 1
+
+// DefaultMaxJournalBytes triggers compaction; exported so tests can reason
+// about it. At a 10s interval a sample is a few KB, so the journal compacts
+// every few thousand intervals.
+const DefaultMaxJournalBytes = 8 << 20
+
+type journalHeader struct {
+	V      int    `json:"v"`
+	Format string `json:"format"`
+}
+
+// journal owns the open append handle. Not safe for concurrent use — the
+// sampler serialises appends, compactions, and close on its tick goroutine.
+type journal struct {
+	path     string
+	f        *os.File
+	size     int64
+	maxBytes int64
+}
+
+// openJournal loads any existing samples at path (tolerating a torn final
+// line from a crash mid-append) and opens the file for appending. A missing
+// file starts an empty journal; an unreadable or version-incompatible one is
+// moved aside so history starts fresh without destroying evidence.
+func openJournal(path string, maxBytes int64) (*journal, []Sample, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxJournalBytes
+	}
+	samples, loadErr := loadJournal(path)
+	if loadErr != nil {
+		// Incompatible or garbled beyond the torn-tail allowance: preserve
+		// the bytes for post-mortem, then start over.
+		os.Rename(path, path+".unsupported")
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &journal{path: path, f: f, size: st.Size(), maxBytes: maxBytes}
+	if j.size == 0 {
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, samples, nil
+}
+
+func (j *journal) writeHeader() error {
+	buf, err := json.Marshal(journalHeader{V: journalVersion, Format: "iq-history"})
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	if err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// errUnsupportedJournal marks a journal whose header names a version this
+// build does not read.
+var errUnsupportedJournal = errors.New("history: unsupported journal version")
+
+// loadJournal parses path. A torn final line (crash mid-append) is dropped
+// silently; a torn line anywhere else truncates the load at that point —
+// everything before it is still good.
+func loadJournal(path string) ([]Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, sc.Err() // empty file: fresh journal
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != "iq-history" {
+		return nil, fmt.Errorf("history: %s: unrecognised journal header", path)
+	}
+	if hdr.V != journalVersion {
+		return nil, fmt.Errorf("%w: %d", errUnsupportedJournal, hdr.V)
+	}
+	var out []Sample
+	for sc.Scan() {
+		var s Sample
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			break // torn tail: keep what parsed
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// append durably adds one sample line.
+func (j *journal) append(s Sample) error {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	if err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// needsCompact reports whether the journal has outgrown its byte budget.
+func (j *journal) needsCompact() bool { return j.size > j.maxBytes }
+
+// compact atomically rewrites the journal to hold exactly samples (the
+// ring's current, retention-bounded content) and reopens the append handle.
+func (j *journal) compact(samples []Sample) error {
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	err := fsatomic.WriteFile(j.path, func(w io.Writer) error {
+		buf, err := json.Marshal(journalHeader{V: journalVersion, Format: "iq-history"})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(buf, '\n')); err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		for _, s := range samples {
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	j.f, j.size = f, st.Size()
+	return nil
+}
+
+func (j *journal) close() error { return j.f.Close() }

@@ -48,6 +48,15 @@ var DurationBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// SolveDurationBuckets extends DurationBuckets downward with 50µs/100µs/250µs
+// bounds for the solve-duration families: a warm cached solve completes in
+// 0.2–0.6ms, so with the default layout the entire warm path collapses into
+// the bottom two buckets and quantile estimates (and the latency SLO built on
+// them) lose all resolution exactly where production traffic lives.
+var SolveDurationBuckets = append([]float64{
+	0.00005, 0.0001, 0.00025,
+}, DurationBuckets...)
+
 // Counter is a monotonically increasing integer series.
 type Counter struct{ v atomic.Int64 }
 
@@ -88,6 +97,21 @@ func (g *Gauge) Add(n int64) {
 
 // Value returns the current gauge reading.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a gauge holding a float64 (e.g. a remaining error-budget
+// fraction). It shares the integer Gauge's TYPE (gauge) in the exposition;
+// the value is stored as float bits in one atomic word.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if enabled.Load() {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket latency/size distribution. Buckets hold
 // non-cumulative per-bucket counts; exposition renders them cumulative with
@@ -157,6 +181,7 @@ type series struct {
 	labels string // rendered `{k="v",...}` or ""
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -195,7 +220,21 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 // Gauge returns the gauge series for name + labels, creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: gauge %q%s registered as float gauge, requested as integer", name, renderLabels(labels)))
+	}
 	return s.g
+}
+
+// FloatGauge returns the float-valued gauge series for name + labels,
+// creating it on first use. A family may not mix integer and float series
+// under one name — the first creation fixes the representation.
+func (r *Registry) FloatGauge(name, help string, labels ...string) *FloatGauge {
+	s := r.getOrCreate(name, help, kindGauge, labels, nil, true)
+	if s.fg == nil {
+		panic(fmt.Sprintf("obs: gauge %q%s registered as integer gauge, requested as float", name, renderLabels(labels)))
+	}
+	return s.fg
 }
 
 // Histogram returns the histogram series for name + labels, creating it on
@@ -210,14 +249,14 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 }
 
 func (r *Registry) lookup(name, help string, kind metricKind, labels []string) *series {
-	return r.getOrCreate(name, help, kind, labels, nil)
+	return r.getOrCreate(name, help, kind, labels, nil, false)
 }
 
 func (r *Registry) lookupHist(name, help string, labels []string, buckets []float64) *series {
-	return r.getOrCreate(name, help, kindHistogram, labels, buckets)
+	return r.getOrCreate(name, help, kindHistogram, labels, buckets, false)
 }
 
-func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []string, buckets []float64) *series {
+func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []string, buckets []float64, float bool) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -239,7 +278,11 @@ func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []stri
 		case kindCounter:
 			s.c = &Counter{}
 		case kindGauge:
-			s.g = &Gauge{}
+			if float {
+				s.fg = &FloatGauge{}
+			} else {
+				s.g = &Gauge{}
+			}
 		case kindHistogram:
 			s.h = newHistogram(buckets)
 		}

@@ -1,0 +1,468 @@
+// Package slo evaluates service-level objectives over the telemetry history
+// stream. Objectives are declarative — availability (fraction of HTTP
+// responses that are not 5xx) and latency (fraction of solves completing
+// under a per-op threshold) — and alerting follows the multi-window
+// burn-rate pattern: an alert fires only when the error budget is burning
+// fast over both a short window (reacts quickly, noisy alone) and a long
+// window (confirms the burn is sustained), with a fast page-severity pair
+// (5m/1h at 14.4× budget) and a slow ticket-severity pair (30m/6h at 6×).
+// Budget accounting rolls over the budget window, alerts emit as structured
+// slog WARN lines plus iq_slo_burn_alerts_total increments, and the current
+// posture is always readable from iq_slo_error_budget_remaining and
+// /v1/stats/slo.
+package slo
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+
+	"iq/internal/obs"
+	"iq/internal/obs/history"
+)
+
+// Kind selects how an objective classifies events in a history sample.
+type Kind string
+
+const (
+	// Availability counts counter deltas of Family; series whose labels
+	// contain BadLabels are the bad events.
+	Availability Kind = "availability"
+	// Latency counts histogram interval observations of Family (filtered by
+	// MatchLabels); observations in buckets bounded at or under Threshold
+	// are the good events.
+	Latency Kind = "latency"
+)
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	Name        string  `json:"name"`
+	Kind        Kind    `json:"kind"`
+	Target      float64 `json:"target"` // required good fraction, e.g. 0.999
+	Description string  `json:"description"`
+
+	// Family is the metric family supplying events.
+	Family string `json:"family"`
+	// BadLabels (availability) marks bad-event series by rendered-label
+	// substring, e.g. `class="5xx"`.
+	BadLabels string `json:"bad_labels,omitempty"`
+	// MatchLabels (latency) restricts the histogram series considered,
+	// e.g. `op="mincost"`.
+	MatchLabels string `json:"match_labels,omitempty"`
+	// Threshold (latency) is the good/bad boundary in seconds. It should
+	// coincide with a bucket bound; events are classified at bucket
+	// granularity (buckets with upper ≤ Threshold+ε count as good).
+	Threshold float64 `json:"threshold_seconds,omitempty"`
+}
+
+// Rule is one multi-window burn-rate alert rule: fire when the budget burn
+// exceeds Burn over both windows.
+type Rule struct {
+	Name     string        `json:"name"` // alert window label ("fast"/"slow")
+	Severity string        `json:"severity"`
+	Short    time.Duration `json:"-"`
+	Long     time.Duration `json:"-"`
+	Burn     float64       `json:"burn_threshold"`
+}
+
+// DefaultRules is the standard fast-page / slow-ticket pair.
+var DefaultRules = []Rule{
+	{Name: "fast", Severity: "page", Short: 5 * time.Minute, Long: time.Hour, Burn: 14.4},
+	{Name: "slow", Severity: "ticket", Short: 30 * time.Minute, Long: 6 * time.Hour, Burn: 6.0},
+}
+
+// DefaultObjectives builds the server's stock objectives: availability over
+// iq_http_responses_total, plus one latency objective per entry of
+// latencyTargets (op → threshold).
+func DefaultObjectives(latencyTargets map[string]time.Duration) []Objective {
+	objs := []Objective{{
+		Name:        "availability",
+		Kind:        Availability,
+		Target:      0.999,
+		Description: "Non-5xx fraction of HTTP responses.",
+		Family:      "iq_http_responses_total",
+		BadLabels:   `class="5xx"`,
+	}}
+	names := make([]string, 0, len(latencyTargets))
+	for op := range latencyTargets {
+		names = append(names, op)
+	}
+	// Deterministic objective order regardless of map iteration.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, op := range names {
+		thr := latencyTargets[op]
+		objs = append(objs, Objective{
+			Name:        "latency-" + op,
+			Kind:        Latency,
+			Target:      0.99,
+			Description: fmt.Sprintf("Fraction of %s solves under %v.", op, thr),
+			Family:      "iq_solve_duration_seconds",
+			MatchLabels: `op="` + op + `"`,
+			Threshold:   thr.Seconds(),
+		})
+	}
+	return objs
+}
+
+// bin is one interval's good/bad tally for one objective.
+type bin struct {
+	unixMs int64
+	good   float64
+	bad    float64
+}
+
+// objState is one objective's rolling window plus alert state.
+type objState struct {
+	obj    Objective
+	bins   []bin
+	firing map[string]bool // rule name → currently firing
+	since  map[string]int64
+	budget *obs.FloatGauge
+	burn   map[string]*obs.FloatGauge // window ("5m"…) → gauge
+	alerts map[string]*obs.Counter    // rule name → alert counter
+}
+
+// Config configures an Evaluator.
+type Config struct {
+	Objectives []Objective
+	Rules      []Rule // nil → DefaultRules
+	// Registry receives the iq_slo_* series (obs.Default in the server).
+	Registry *obs.Registry
+	// BudgetWindow is the error-budget accounting span (0 → the longest
+	// rule window).
+	BudgetWindow time.Duration
+	// Log receives alert WARN lines; nil uses slog.Default().
+	Log *slog.Logger
+}
+
+// Evaluator consumes history samples and maintains burn rates, budgets, and
+// alert state. Safe for concurrent use (the sampler feeds it on one
+// goroutine; status queries come from request handlers).
+type Evaluator struct {
+	mu     sync.Mutex
+	cfg    Config
+	states []*objState
+}
+
+// New builds an Evaluator and pre-registers every iq_slo_* series so the
+// families are visible in /metrics from startup, not first alert.
+func New(cfg Config) *Evaluator {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	if len(cfg.Rules) == 0 {
+		cfg.Rules = DefaultRules
+	}
+	if cfg.BudgetWindow <= 0 {
+		for _, r := range cfg.Rules {
+			if r.Long > cfg.BudgetWindow {
+				cfg.BudgetWindow = r.Long
+			}
+		}
+	}
+	e := &Evaluator{cfg: cfg}
+	for _, obj := range cfg.Objectives {
+		st := &objState{
+			obj:    obj,
+			firing: map[string]bool{},
+			since:  map[string]int64{},
+			burn:   map[string]*obs.FloatGauge{},
+			alerts: map[string]*obs.Counter{},
+			budget: cfg.Registry.FloatGauge("iq_slo_error_budget_remaining",
+				"Fraction of the SLO error budget left over the budget window (1 = untouched, <0 = overspent).",
+				"slo", obj.Name),
+		}
+		st.budget.Set(1)
+		for _, r := range cfg.Rules {
+			st.alerts[r.Name] = cfg.Registry.Counter("iq_slo_burn_alerts_total",
+				"Burn-rate alerts fired, by objective and alert window.",
+				"slo", obj.Name, "window", r.Name)
+			for _, w := range []time.Duration{r.Short, r.Long} {
+				wn := windowName(w)
+				if st.burn[wn] == nil {
+					st.burn[wn] = cfg.Registry.FloatGauge("iq_slo_burn_rate",
+						"Error-budget burn rate (1 = burning exactly the budget), by objective and window.",
+						"slo", obj.Name, "window", wn)
+				}
+			}
+		}
+		e.states = append(e.states, st)
+	}
+	return e
+}
+
+func windowName(d time.Duration) string {
+	if m := d / time.Minute; m < 60 {
+		return fmt.Sprintf("%dm", m)
+	}
+	return fmt.Sprintf("%dh", d/time.Hour)
+}
+
+// Seed replays recovered history samples into the windows without emitting
+// alerts or log lines: after a restart the budget accounting picks up where
+// the previous process stopped, while alert edges re-derive from live
+// evaluation only.
+func (e *Evaluator) Seed(samples []history.Sample) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range samples {
+		e.ingestLocked(s)
+	}
+	if n := len(samples); n > 0 {
+		for _, st := range e.states {
+			e.refreshGaugesLocked(st, samples[n-1].UnixMs)
+		}
+	}
+}
+
+// OnSample ingests one live sample and evaluates every objective. This is
+// the sampler's OnSample hook.
+func (e *Evaluator) OnSample(s history.Sample) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ingestLocked(s)
+	for _, st := range e.states {
+		e.evaluateLocked(st, s.UnixMs)
+	}
+}
+
+func (e *Evaluator) ingestLocked(s history.Sample) {
+	for _, st := range e.states {
+		good, bad := extract(st.obj, s)
+		if good == 0 && bad == 0 {
+			continue
+		}
+		st.bins = append(st.bins, bin{unixMs: s.UnixMs, good: good, bad: bad})
+	}
+	// Trim everything beyond the budget window (the widest span any query
+	// needs).
+	floor := s.UnixMs - e.cfg.BudgetWindow.Milliseconds()
+	for _, st := range e.states {
+		drop := 0
+		for drop < len(st.bins) && st.bins[drop].unixMs < floor {
+			drop++
+		}
+		if drop > 0 {
+			st.bins = append(st.bins[:0:0], st.bins[drop:]...)
+		}
+	}
+}
+
+// extract pulls one sample's (good, bad) event counts for an objective.
+func extract(obj Objective, s history.Sample) (good, bad float64) {
+	for _, p := range s.Points {
+		if p.Name != obj.Family {
+			continue
+		}
+		switch obj.Kind {
+		case Availability:
+			if p.Kind != "counter" {
+				continue
+			}
+			if strings.Contains(p.Labels, obj.BadLabels) {
+				bad += p.Delta
+			} else {
+				good += p.Delta
+			}
+		case Latency:
+			if p.Kind != "histogram" || !strings.Contains(p.Labels, obj.MatchLabels) {
+				continue
+			}
+			var under int64
+			for i, up := range p.Uppers {
+				if up > obj.Threshold*(1+1e-9) {
+					break
+				}
+				if i < len(p.Buckets) {
+					under += p.Buckets[i]
+				}
+			}
+			good += float64(under)
+			bad += float64(p.Count - under)
+		}
+	}
+	return good, bad
+}
+
+// windowTotals sums (good, bad) over the window ending at nowMs.
+func (st *objState) windowTotals(window time.Duration, nowMs int64) (good, bad float64) {
+	floor := nowMs - window.Milliseconds()
+	for i := len(st.bins) - 1; i >= 0; i-- {
+		b := st.bins[i]
+		if b.unixMs <= floor {
+			break
+		}
+		good += b.good
+		bad += b.bad
+	}
+	return good, bad
+}
+
+// burnRate is (bad fraction) / (allowed bad fraction) over a window; 1.0
+// means the budget is being spent exactly at the sustainable pace.
+func (st *objState) burnRate(window time.Duration, nowMs int64) float64 {
+	good, bad := st.windowTotals(window, nowMs)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	allowed := 1 - st.obj.Target
+	if allowed <= 0 {
+		allowed = 1e-9
+	}
+	return (bad / total) / allowed
+}
+
+func (e *Evaluator) refreshGaugesLocked(st *objState, nowMs int64) {
+	for wn, g := range st.burn {
+		g.Set(st.burnRate(windowDur(wn), nowMs))
+	}
+	st.budget.Set(st.budgetRemaining(e.cfg.BudgetWindow, nowMs))
+}
+
+func (st *objState) budgetRemaining(window time.Duration, nowMs int64) float64 {
+	good, bad := st.windowTotals(window, nowMs)
+	total := good + bad
+	if total == 0 {
+		return 1
+	}
+	allowed := (1 - st.obj.Target)
+	if allowed <= 0 {
+		allowed = 1e-9
+	}
+	rem := 1 - (bad/total)/allowed
+	if rem < -1 {
+		rem = -1
+	}
+	return rem
+}
+
+// windowDur inverts windowName for the gauge refresh.
+func windowDur(name string) time.Duration {
+	var n int
+	var unit byte
+	fmt.Sscanf(name, "%d%c", &n, &unit)
+	if unit == 'h' {
+		return time.Duration(n) * time.Hour
+	}
+	return time.Duration(n) * time.Minute
+}
+
+func (e *Evaluator) evaluateLocked(st *objState, nowMs int64) {
+	e.refreshGaugesLocked(st, nowMs)
+	for _, r := range e.cfg.Rules {
+		short := st.burnRate(r.Short, nowMs)
+		long := st.burnRate(r.Long, nowMs)
+		firing := short > r.Burn && long > r.Burn
+		was := st.firing[r.Name]
+		switch {
+		case firing && !was:
+			st.firing[r.Name] = true
+			st.since[r.Name] = nowMs
+			st.alerts[r.Name].Inc()
+			e.cfg.Log.Warn("slo burn alert firing",
+				"slo", st.obj.Name,
+				"window", r.Name,
+				"severity", r.Severity,
+				"burn_short", short,
+				"burn_long", long,
+				"threshold", r.Burn,
+				"budget_remaining", st.budgetRemaining(e.cfg.BudgetWindow, nowMs),
+			)
+		case !firing && was:
+			st.firing[r.Name] = false
+			e.cfg.Log.Info("slo burn alert resolved",
+				"slo", st.obj.Name,
+				"window", r.Name,
+				"severity", r.Severity,
+				"burn_short", short,
+				"burn_long", long,
+			)
+		}
+	}
+}
+
+// WindowStatus is one window's burn rate in a status report.
+type WindowStatus struct {
+	Window string  `json:"window"`
+	Burn   float64 `json:"burn"`
+}
+
+// RuleStatus is one alert rule's posture for one objective.
+type RuleStatus struct {
+	Name        string  `json:"name"`
+	Severity    string  `json:"severity"`
+	BurnShort   float64 `json:"burn_short"`
+	BurnLong    float64 `json:"burn_long"`
+	Threshold   float64 `json:"threshold"`
+	Firing      bool    `json:"firing"`
+	SinceUnixMs int64   `json:"since_unix_ms,omitempty"`
+}
+
+// ObjectiveStatus is one objective's full posture.
+type ObjectiveStatus struct {
+	Objective
+	GoodEvents      float64        `json:"good_events"`
+	BadEvents       float64        `json:"bad_events"`
+	BudgetRemaining float64        `json:"budget_remaining"`
+	Windows         []WindowStatus `json:"windows"`
+	Rules           []RuleStatus   `json:"rules"`
+}
+
+// Status reports every objective's budget, per-window burn, and rule state
+// as of the newest ingested sample. Firing lists the active alerts.
+func (e *Evaluator) Status() (objs []ObjectiveStatus, firing []RuleStatus) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.states {
+		nowMs := int64(0)
+		if n := len(st.bins); n > 0 {
+			nowMs = st.bins[n-1].unixMs
+		}
+		good, bad := st.windowTotals(e.cfg.BudgetWindow, nowMs)
+		os := ObjectiveStatus{
+			Objective:       st.obj,
+			GoodEvents:      good,
+			BadEvents:       bad,
+			BudgetRemaining: st.budgetRemaining(e.cfg.BudgetWindow, nowMs),
+		}
+		seen := map[string]bool{}
+		for _, r := range e.cfg.Rules {
+			for _, w := range []time.Duration{r.Short, r.Long} {
+				wn := windowName(w)
+				if !seen[wn] {
+					seen[wn] = true
+					os.Windows = append(os.Windows, WindowStatus{Window: wn, Burn: st.burnRate(w, nowMs)})
+				}
+			}
+			rs := RuleStatus{
+				Name:      r.Name,
+				Severity:  r.Severity,
+				BurnShort: st.burnRate(r.Short, nowMs),
+				BurnLong:  st.burnRate(r.Long, nowMs),
+				Threshold: r.Burn,
+				Firing:    st.firing[r.Name],
+			}
+			if rs.Firing {
+				rs.SinceUnixMs = st.since[r.Name]
+				f := rs
+				f.Name = st.obj.Name + "/" + r.Name
+				firing = append(firing, f)
+			}
+			os.Rules = append(os.Rules, rs)
+		}
+		objs = append(objs, os)
+	}
+	return objs, firing
+}

@@ -1,0 +1,248 @@
+package slo
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"iq/internal/obs"
+	"iq/internal/obs/history"
+)
+
+// httpSample builds one history sample with ok 2xx and bad 5xx responses
+// plus nOp mincost solves at the given latency (seconds).
+func httpSample(atMs int64, ok, bad float64, nOp int64, lat float64) history.Sample {
+	uppers := []float64{0.001, 0.01, 0.1}
+	buckets := make([]int64, 4)
+	switch {
+	case lat <= 0.001:
+		buckets[0] = nOp
+	case lat <= 0.01:
+		buckets[1] = nOp
+	case lat <= 0.1:
+		buckets[2] = nOp
+	default:
+		buckets[3] = nOp
+	}
+	pts := []history.Point{
+		{Name: "iq_http_responses_total", Labels: `{class="2xx"}`, Kind: "counter", Delta: ok},
+		{Name: "iq_http_responses_total", Labels: `{class="5xx"}`, Kind: "counter", Delta: bad},
+	}
+	if nOp > 0 {
+		pts = append(pts, history.Point{
+			Name: "iq_solve_duration_seconds", Labels: `{op="mincost"}`, Kind: "histogram",
+			Count: nOp, Uppers: uppers, Buckets: buckets,
+		})
+	}
+	return history.Sample{UnixMs: atMs, Dur: 1, Points: pts}
+}
+
+func newTestEvaluator(logBuf *bytes.Buffer) *Evaluator {
+	var log *slog.Logger
+	if logBuf != nil {
+		log = slog.New(slog.NewTextHandler(logBuf, nil))
+	}
+	return New(Config{
+		Objectives: DefaultObjectives(map[string]time.Duration{"mincost": time.Millisecond}),
+		Registry:   obs.NewRegistry(),
+		Log:        log,
+	})
+}
+
+func TestExtractAvailability(t *testing.T) {
+	obj := DefaultObjectives(nil)[0]
+	good, bad := extract(obj, httpSample(1000, 90, 10, 0, 0))
+	if good != 90 || bad != 10 {
+		t.Fatalf("availability extract = (%v, %v), want (90, 10)", good, bad)
+	}
+}
+
+func TestExtractLatency(t *testing.T) {
+	objs := DefaultObjectives(map[string]time.Duration{"mincost": time.Millisecond})
+	var obj Objective
+	for _, o := range objs {
+		if o.Name == "latency-mincost" {
+			obj = o
+		}
+	}
+	// 20 solves all under 1ms: all good.
+	good, bad := extract(obj, httpSample(1000, 0, 0, 20, 0.0005))
+	if good != 20 || bad != 0 {
+		t.Fatalf("fast solves = (%v, %v), want (20, 0)", good, bad)
+	}
+	// 20 solves all at 5ms: all bad.
+	good, bad = extract(obj, httpSample(1000, 0, 0, 20, 0.005))
+	if good != 0 || bad != 20 {
+		t.Fatalf("slow solves = (%v, %v), want (0, 20)", good, bad)
+	}
+	// A maxhit histogram must not count toward the mincost objective.
+	s := history.Sample{UnixMs: 1000, Dur: 1, Points: []history.Point{{
+		Name: "iq_solve_duration_seconds", Labels: `{op="maxhit"}`, Kind: "histogram",
+		Count: 10, Uppers: []float64{0.001}, Buckets: []int64{10, 0},
+	}}}
+	good, bad = extract(obj, s)
+	if good != 0 || bad != 0 {
+		t.Fatalf("other-op solves leaked into objective: (%v, %v)", good, bad)
+	}
+}
+
+func TestBurnAlertRisingAndFallingEdge(t *testing.T) {
+	var buf bytes.Buffer
+	e := newTestEvaluator(&buf)
+
+	// Healthy traffic: no alerts.
+	at := int64(1_000_000)
+	for i := 0; i < 5; i++ {
+		at += 1000
+		e.OnSample(httpSample(at, 1000, 0, 100, 0.0005))
+	}
+	if _, firing := e.Status(); len(firing) != 0 {
+		t.Fatalf("healthy traffic is firing: %+v", firing)
+	}
+
+	// Total outage: every response 5xx, every solve slow. Burn is
+	// 1/(1-0.999) = 1000x, far past both rule thresholds.
+	for i := 0; i < 5; i++ {
+		at += 1000
+		e.OnSample(httpSample(at, 0, 1000, 100, 0.05))
+	}
+	objs, firing := e.Status()
+	if len(firing) == 0 {
+		t.Fatalf("total outage fired no alerts")
+	}
+	if !strings.Contains(buf.String(), "slo burn alert firing") {
+		t.Fatalf("no WARN line for the burn alert; log:\n%s", buf.String())
+	}
+	// The alert counter incremented exactly once per (objective, rule) edge.
+	var sawCounter bool
+	for _, fam := range e.cfg.Registry.Gather() {
+		if fam.Name != "iq_slo_burn_alerts_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			if s.Value > 0 {
+				sawCounter = true
+				if s.Value != 1 {
+					t.Fatalf("alert counter %s = %v, want 1 (edge-triggered)", s.Labels, s.Value)
+				}
+			}
+		}
+	}
+	if !sawCounter {
+		t.Fatalf("iq_slo_burn_alerts_total never incremented")
+	}
+	// Budget is drained below 1 for every objective that saw events.
+	for _, o := range objs {
+		if o.BudgetRemaining >= 1 {
+			t.Fatalf("objective %s budget unspent after outage: %v", o.Name, o.BudgetRemaining)
+		}
+		if o.BudgetRemaining < -1 {
+			t.Fatalf("objective %s budget below the -1 clamp: %v", o.Name, o.BudgetRemaining)
+		}
+	}
+
+	// Recovery: the short window clears first; once both windows drop under
+	// the threshold the alert resolves with an Info line and no counter bump.
+	buf.Reset()
+	// Jump far enough forward that the outage leaves even the 6h window.
+	at += (7 * time.Hour).Milliseconds()
+	for i := 0; i < 5; i++ {
+		at += 1000
+		e.OnSample(httpSample(at, 1000, 0, 100, 0.0005))
+	}
+	if _, firing := e.Status(); len(firing) != 0 {
+		t.Fatalf("alert did not resolve after recovery: %+v", firing)
+	}
+	if !strings.Contains(buf.String(), "slo burn alert resolved") {
+		t.Fatalf("no resolved line after recovery; log:\n%s", buf.String())
+	}
+	for _, fam := range e.cfg.Registry.Gather() {
+		if fam.Name != "iq_slo_burn_alerts_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			if s.Value > 1 {
+				t.Fatalf("alert counter bumped on resolve: %s = %v", s.Labels, s.Value)
+			}
+		}
+	}
+}
+
+func TestSeedReplaysWithoutAlerts(t *testing.T) {
+	var buf bytes.Buffer
+	e := newTestEvaluator(&buf)
+	var samples []history.Sample
+	at := int64(1_000_000)
+	for i := 0; i < 5; i++ {
+		at += 1000
+		samples = append(samples, httpSample(at, 0, 1000, 100, 0.05))
+	}
+	e.Seed(samples)
+	if strings.Contains(buf.String(), "firing") {
+		t.Fatalf("Seed emitted alert lines:\n%s", buf.String())
+	}
+	for _, fam := range e.cfg.Registry.Gather() {
+		if fam.Name == "iq_slo_burn_alerts_total" {
+			for _, s := range fam.Series {
+				if s.Value != 0 {
+					t.Fatalf("Seed incremented the alert counter: %s = %v", s.Labels, s.Value)
+				}
+			}
+		}
+	}
+	// But the budget accounting IS restored from the seeded history.
+	objs, _ := e.Status()
+	for _, o := range objs {
+		if o.BudgetRemaining >= 1 {
+			t.Fatalf("objective %s ignored seeded history: budget %v", o.Name, o.BudgetRemaining)
+		}
+	}
+	// The next live bad sample fires immediately off the seeded windows.
+	at += 1000
+	e.OnSample(httpSample(at, 0, 1000, 100, 0.05))
+	if _, firing := e.Status(); len(firing) == 0 {
+		t.Fatalf("live sample after bad seed did not fire")
+	}
+}
+
+func TestBudgetRecoversOverWindow(t *testing.T) {
+	var buf bytes.Buffer
+	e := newTestEvaluator(&buf)
+	at := int64(1_000_000)
+	// Burn budget with a brief partial outage (5% errors).
+	for i := 0; i < 3; i++ {
+		at += 1000
+		e.OnSample(httpSample(at, 950, 50, 0, 0))
+	}
+	objs, _ := e.Status()
+	burned := objs[0].BudgetRemaining
+	if burned >= 1 {
+		t.Fatalf("outage did not burn budget: %v", burned)
+	}
+	// Sustained healthy traffic dilutes the bad fraction; budget climbs.
+	for i := 0; i < 50; i++ {
+		at += 1000
+		e.OnSample(httpSample(at, 10000, 0, 0, 0))
+	}
+	objs, _ = e.Status()
+	if objs[0].BudgetRemaining <= burned {
+		t.Fatalf("budget did not recover: %v -> %v", burned, objs[0].BudgetRemaining)
+	}
+}
+
+func TestDefaultObjectivesDeterministicOrder(t *testing.T) {
+	targets := map[string]time.Duration{"maxhit": time.Millisecond, "mincost": time.Millisecond}
+	for i := 0; i < 10; i++ {
+		objs := DefaultObjectives(targets)
+		if len(objs) != 3 || objs[0].Name != "availability" ||
+			objs[1].Name != "latency-maxhit" || objs[2].Name != "latency-mincost" {
+			names := make([]string, len(objs))
+			for j, o := range objs {
+				names[j] = o.Name
+			}
+			t.Fatalf("objective order not deterministic: %v", names)
+		}
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"iq/internal/core"
 	"iq/internal/ese"
 	"iq/internal/obs"
+	"iq/internal/obs/history"
 	"iq/internal/obs/workload"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
@@ -151,6 +152,19 @@ func SetWorkloadAnalyticsEnabled(enabled bool) bool { return workload.SetEnabled
 
 // WorkloadAnalyticsEnabled reports whether per-region attribution is active.
 func WorkloadAnalyticsEnabled() bool { return workload.Enabled() }
+
+// SetHealthEnabled toggles the health subsystem's background work — the
+// telemetry-history sampler and the SLO evaluation it drives — and returns
+// the previous setting. Default on. The solve hot path carries no health
+// code at all (sampling is a background ticker reading registry atomics), so
+// this switch only silences the per-interval gather/persist/evaluate work;
+// disabled spans appear in history as gaps. iqserver wires the switch under
+// its /v1/stats/history and /v1/stats/slo surfaces.
+func SetHealthEnabled(enabled bool) bool { return history.SetEnabled(enabled) }
+
+// HealthEnabled reports whether history sampling and SLO evaluation are
+// active.
+func HealthEnabled() bool { return history.Enabled() }
 
 // Trace is a bounded buffer of hierarchical spans recorded during one solve
 // (or any other traced operation). Attach one to a context with WithTrace

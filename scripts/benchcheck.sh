@@ -21,9 +21,20 @@
 #    2% to the solvers (min-of-N attempts; noise can only inflate the
 #    estimate, never deflate it). Full-scale report: BENCH_PR8.json
 #    (regenerate with: go run ./cmd/iqbench -analytics-json BENCH_PR8.json).
+# 5. Health-subsystem A/B (PR 9): a live history sampler + SLO evaluator
+#    (ticking at an aggressive 10ms) must add at most 2% to the solvers —
+#    the sampler runs entirely off the hot path. Full-scale report:
+#    BENCH_PR9.json
+#    (regenerate with: go run ./cmd/iqbench -health-json BENCH_PR9.json).
+# 6. Cross-PR trend: the newest BENCH_PR*.json ledger must stay within 10%
+#    of the best known value for every metric it shares lineage with —
+#    regressions against history fail even when each individual PR's own
+#    gate passed.
 set -eu
 
 go run ./cmd/iqbench -cache-check
 go run ./cmd/iqbench -write-check
 go run ./cmd/iqbench -wal-check
 go run ./cmd/iqbench -analytics-check
+go run ./cmd/iqbench -health-check
+go run ./cmd/iqbench -trend

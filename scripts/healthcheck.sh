@@ -1,0 +1,57 @@
+#!/bin/sh
+# Live SLO/telemetry drill: boot an iqserver with a deliberately impossible
+# latency SLO, drive real solves through HTTP until the multi-window burn-rate
+# alert fires, then kill -9 the process and restart it over the same data
+# directory to prove the telemetry history journal survived. The unit suite
+# covers the sampler, evaluator, and journal in isolation; only this drill
+# proves the whole loop — live sampling off the request path, alerting on the
+# stats surface AND the log stream, crash-safe history — in a deployed binary.
+set -eu
+
+ADDR=127.0.0.1:19279
+BIN=$(mktemp -d)
+DATA="$BIN/data"
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+SERVER_PID=""
+
+go build -o "$BIN/iqserver" ./cmd/iqserver
+go build -o "$BIN/iqtool" ./cmd/iqtool
+
+# A 1µs latency target makes every solve a bad event (burn rate saturates at
+# 1/(1-target) = 100x, far past the fast rule's 14.4x), and a 500ms sampling
+# interval gets those bad events in front of the evaluator within a couple of
+# ticks instead of the production 10s cadence.
+"$BIN/iqserver" -addr "$ADDR" -log-level warn -log-format json \
+  -data-dir "$DATA" -fsync off -checkpoint-every 0 \
+  -history-interval 500ms -slo-latency-target 1us > "$BIN/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Drive solves until /v1/stats/slo reports a firing rule; the reference JSON
+# records the pre-kill history for the verifier.
+"$BIN/iqtool" -health-drive "http://$ADDR" > "$BIN/ref.json"
+
+# The alert must also have hit the log stream as a structured WARN line.
+if ! grep -q 'slo burn alert firing' "$BIN/server.log"; then
+  echo "healthcheck FAILED: no burn-alert WARN line in the server log" >&2
+  cat "$BIN/server.log" >&2
+  exit 1
+fi
+
+# Crash. The journal fsyncs every sample, so the history must survive intact
+# modulo the interval that was in flight.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+"$BIN/iqserver" -addr "$ADDR" -log-level warn -log-format json \
+  -data-dir "$DATA" -fsync off -checkpoint-every 0 \
+  -history-interval 500ms -slo-latency-target 1us >> "$BIN/server.log" 2>&1 &
+SERVER_PID=$!
+
+# The restarted server must still serve pre-kill samples from the recovered
+# journal and report live SLO objectives.
+"$BIN/iqtool" -health-verify "http://$ADDR" -health-ref "$BIN/ref.json"
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "healthcheck passed"

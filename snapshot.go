@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
+	"iq/internal/fsatomic"
 	"iq/internal/topk"
 	"iq/internal/vec"
 )
@@ -165,46 +165,15 @@ func (s *System) SaveFile(path string) error {
 }
 
 // writeFileAtomic is the tmp + fsync + rename + dir-fsync dance shared by
-// SaveFile and the checkpoint writer.
+// SaveFile and the checkpoint writer. The implementation lives in
+// internal/fsatomic so packages that must not import iq (the telemetry
+// history journal) share the identical crash-safety contract.
 func writeFileAtomic(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err := write(tmp); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	name := tmp.Name()
-	tmp = nil
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return syncDir(dir)
+	return fsatomic.WriteFile(path, write)
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
+func syncDir(dir string) error { return fsatomic.SyncDir(dir) }
 
 // ErrCorruptSnapshot tags Load/LoadFile failures whose cause is provably
 // invalid snapshot content — garbage bytes, truncation, failed validation —

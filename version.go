@@ -1,0 +1,26 @@
+package iq
+
+import (
+	"runtime"
+
+	"iq/internal/obs"
+)
+
+// Version identifies this build of the engine. It rides along in the
+// iq_build_info metric, iqserver's -version flag, and the /v1/stats payload,
+// so an operator can always tie a running process (or a scraped dashboard)
+// back to the code it was built from.
+const Version = "0.9.0"
+
+// GoVersion is the toolchain the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// iq_build_info follows the Prometheus build-info convention: the value is
+// constantly 1 and the labels carry the identity, so a dashboard can join
+// any other series against the version that produced it. Registered at
+// package init so the family is present from the very first scrape.
+func init() {
+	obs.Default.Gauge("iq_build_info",
+		"Build identity; constant 1, the labels carry the version.",
+		"version", Version, "go_version", GoVersion()).Set(1)
+}
