@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck analyzecheck healthcheck
+.PHONY: check build vet test race stress bench metricscheck tracecheck benchcheck crashcheck analyzecheck healthcheck shardcheck
 
 # check is the CI entry point: build everything, vet, run the suite under
 # the race detector (-short: the stress tests are excluded there), then
@@ -9,7 +9,7 @@ GO ?= go
 # live server to prove the exposition parses end to end. Every test run
 # carries an explicit -timeout so a hung solve fails fast with a goroutine
 # dump instead of stalling CI at the per-package default.
-check: build vet race stress metricscheck tracecheck benchcheck crashcheck analyzecheck healthcheck
+check: build vet race stress metricscheck tracecheck benchcheck crashcheck analyzecheck healthcheck shardcheck
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,16 @@ analyzecheck:
 # journal survived (scripts/healthcheck.sh).
 healthcheck:
 	./scripts/healthcheck.sh
+
+# shardcheck is the live bit-identity drill: boot an iqserver with
+# -shards 4 and a -shards 1 twin, drive an identical sequence of solves,
+# commits, batch mutations, and error paths through both HTTP APIs, and
+# require every response pair to match field for field plus nonzero
+# iq_shard_* series on the sharded server's /metrics
+# (scripts/shardcheck.sh). The in-process property test proves engine
+# bit-identity; this proves the deployed binary's full HTTP path does too.
+shardcheck:
+	./scripts/shardcheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

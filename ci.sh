@@ -34,3 +34,7 @@ go test -race -run TestStress -count=2 -timeout 10m ./...
 # surface and the log stream), then kill -9 and restart to prove the
 # telemetry history journal survived.
 ./scripts/healthcheck.sh
+# Live sharded-engine gate: boot an iqserver with -shards 4 and a -shards 1
+# twin, drive identical solves and mutations through both, and require every
+# response pair bit-identical plus nonzero iq_shard_* series on /metrics.
+./scripts/shardcheck.sh

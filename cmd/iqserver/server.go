@@ -80,6 +80,10 @@ type serverConfig struct {
 	// slot however many items it carries, so the cap bounds how much work a
 	// single slot can represent. 0 = unlimited.
 	maxBatchItems int
+	// shards partitions the query workload of every loaded dataset across
+	// this many engine shards (iq.IndexOptions.Shards). 0 or 1 keeps the
+	// single monolithic engine; results are bit-identical either way.
+	shards int
 	// enablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: the profiling endpoints leak heap contents and must be
 	// opted into on trusted networks only.
@@ -665,7 +669,9 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		queries[i] = iq.Query{ID: q.ID, K: q.K, Point: q.Point}
 	}
-	sys, err := iq.NewLinear(req.Objects, queries)
+	sys, err := iq.NewWithOptionsCtx(r.Context(),
+		iq.LinearSpace{D: len(req.Objects[0])}, req.Objects, queries,
+		iq.IndexOptions{Shards: s.cfg.shards})
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
@@ -691,7 +697,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.sys = sys
 	s.mu.Unlock()
 	s.log.InfoContext(r.Context(), "dataset loaded",
-		"objects", len(req.Objects), "queries", len(queries))
+		"objects", len(req.Objects), "queries", len(queries), "shards", sys.Shards())
 	s.writeJSON(w, http.StatusOK, map[string]int{
 		"objects": sys.NumObjects(),
 		"queries": sys.NumQueries(),
@@ -739,6 +745,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			// Every registered series, flattened name{labels} -> value:
 			// the /metrics content for clients that prefer JSON.
 			"counters": obs.Default.Snapshot(),
+		}
+		payload["shards"] = sys.Shards()
+		if infos := sys.ShardInfos(); infos != nil {
+			payload["shard_plan"] = sys.ShardPlan()
+			payload["shard_detail"] = infos
 		}
 		if store := s.currentStore(); store != nil {
 			payload["recovery"] = store.RecoveryStats()

@@ -12,15 +12,18 @@ import (
 	"strconv"
 
 	"iq/internal/obs/workload"
+	"iq/internal/shard"
 )
 
 // workloadStatsResponse is the /v1/stats/workload payload: the aggregator
 // snapshot (regions already sorted hottest-first), the same regions re-sorted
-// by write churn, and — when ?advise=k was passed — the advisor's proposal.
+// by write churn, and — when ?advise=k was passed — the advisor's proposal
+// plus the drift between that proposal and the live shard assignment.
 type workloadStatsResponse struct {
 	*workload.Snapshot
 	ChurnLeaders []workload.RegionStat `json:"churn_leaders"`
 	Advice       *workload.Proposal    `json:"advice,omitempty"`
+	Applied      *shard.DriftReport    `json:"applied,omitempty"`
 }
 
 func (s *server) handleWorkloadStats(w http.ResponseWriter, r *http.Request) {
@@ -34,6 +37,13 @@ func (s *server) handleWorkloadStats(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Advice = snap.Advise(k)
+		// The applied section compares the proposal against the running
+		// engine's shard layout (1 when no dataset is loaded yet).
+		live := 1
+		if sys := s.system(); sys != nil {
+			live = sys.Shards()
+		}
+		resp.Applied = shard.Drift(live, snap, resp.Advice)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -3,10 +3,11 @@ package main
 // The -analyze modes exercise the workload analytics layer end to end.
 //
 // -analyze runs entirely in-process: build a deliberately skewed demo
-// workload (four tight query clusters plus a diffuse remainder), drive
-// solves and commits through the engine so the per-region aggregator fills,
-// then print the windowed report — hottest regions, churn leaders, and the
-// shard advisor's proposal for -shards shards.
+// workload (four tight query clusters plus a diffuse remainder) on a LIVE
+// sharded engine (-shards shards), drive solves and commits through it so
+// the per-region aggregator fills, then print the windowed report — hottest
+// regions, churn leaders, the shard advisor's proposal for -shards shards,
+// and the drift between that proposal and the engine's running assignment.
 //
 // -analyze-server URL drives a live iqserver the same way over HTTP, then
 // fetches /v1/stats/workload?advise=k and validates the payload shape: at
@@ -29,6 +30,7 @@ import (
 	"iq"
 	"iq/internal/dataset"
 	"iq/internal/obs/workload"
+	"iq/internal/shard"
 )
 
 // skewedWorkload builds the demo dataset for the analyze modes: 200 objects
@@ -64,12 +66,14 @@ func skewedWorkload(seed int64) ([]iq.Vector, []iq.Query) {
 	return objs, queries
 }
 
-// analyzeLocal drives the skewed demo in-process and prints the report.
+// analyzeLocal drives the skewed demo in-process and prints the report. The
+// demo engine itself runs sharded (-shards), so the drift section compares
+// the advisor's proposal against a real live assignment.
 func analyzeLocal(out io.Writer, seed int64, shards int) error {
 	workload.Default.Reset()
 	objs, queries := skewedWorkload(seed)
 	ctx := context.Background()
-	sys, err := iq.NewWithOptionsCtx(ctx, iq.LinearSpace{D: 3}, objs, queries, iq.IndexOptions{})
+	sys, err := iq.NewWithOptionsCtx(ctx, iq.LinearSpace{D: 3}, objs, queries, iq.IndexOptions{Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -94,11 +98,11 @@ func analyzeLocal(out io.Writer, seed int64, shards int) error {
 		}
 	}
 	snap := workload.Default.Snapshot()
-	printReport(out, snap, shards)
+	printReport(out, snap, shards, sys.Shards())
 	return nil
 }
 
-func printReport(out io.Writer, snap *workload.Snapshot, shards int) {
+func printReport(out io.Writer, snap *workload.Snapshot, shards, liveShards int) {
 	fmt.Fprintf(out, "workload report: window %.0fs x %d buckets, %d/%d keys tracked, %d retired\n",
 		snap.Window.Seconds, snap.Window.Buckets, snap.TrackedKeys, snap.MaxKeys, snap.RetiredSlots)
 	fmt.Fprintf(out, "\ntop regions by attributed load\n")
@@ -133,6 +137,12 @@ func printReport(out io.Writer, snap *workload.Snapshot, shards int) {
 		for i, sh := range p.Shards {
 			fmt.Fprintf(out, "  shard %d: pos [%.3f, %.3f], %d regions, %.0f%% of load\n",
 				i, sh.PosMin, sh.PosMax, len(sh.Regions), sh.Share*100)
+		}
+		if rep := shard.Drift(liveShards, snap, p); rep != nil {
+			fmt.Fprintf(out, "\ndrift vs live %d-shard assignment\n", rep.LiveShards)
+			fmt.Fprintf(out, "  live imbalance %.2f -> advised %.2f\n", rep.LiveImbalance, rep.AdvisedImbalance)
+			fmt.Fprintf(out, "  %d of %d regions would move owners (%.0f%% of windowed load)\n",
+				rep.MovedRegions, rep.TotalRegions, rep.MovedLoadShare*100)
 		}
 	} else {
 		fmt.Fprintf(out, "\nno shard proposal (no attributed load in window)\n")
@@ -173,6 +183,14 @@ type workloadWire struct {
 		MaxLoadNS   int64   `json:"max_load_ns"`
 		Imbalance   float64 `json:"imbalance"`
 	} `json:"advice"`
+	Applied *struct {
+		LiveShards     int     `json:"live_shards"`
+		AdvisedK       int     `json:"advised_k"`
+		LiveImbalance  float64 `json:"live_imbalance"`
+		TotalRegions   int     `json:"total_regions"`
+		MovedRegions   int     `json:"moved_regions"`
+		MovedLoadShare float64 `json:"moved_load_share"`
+	} `json:"applied"`
 }
 
 // analyzeServer drives a live iqserver with the skewed demo, then fetches
@@ -297,6 +315,14 @@ func analyzeServer(out io.Writer, baseURL string, seed int64, shards int, timeou
 	if math.Abs(share-1.0) > 0.01 {
 		return fmt.Errorf("shard shares sum to %.3f, want 1.0", share)
 	}
+	// Advice present implies the applied drift section is present too.
+	if wire.Applied == nil {
+		return fmt.Errorf("advise=%d returned no applied drift section", shards)
+	}
+	if wire.Applied.LiveShards < 1 || wire.Applied.AdvisedK != shards ||
+		wire.Applied.TotalRegions == 0 || wire.Applied.LiveImbalance <= 0 {
+		return fmt.Errorf("bad applied drift section: %+v", *wire.Applied)
+	}
 	// The debug page must render.
 	resp, err = client.Get(baseURL + "/debug/workload")
 	if err != nil {
@@ -307,8 +333,9 @@ func analyzeServer(out io.Writer, baseURL string, seed int64, shards int, timeou
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(page, []byte("workload heatmap")) {
 		return fmt.Errorf("/debug/workload status %d or malformed page", resp.StatusCode)
 	}
-	fmt.Fprintf(out, "workload analytics OK: %d regions (hottest %d: %dus), %d target series, advise(%d) -> %d shards, imbalance %.2f\n",
+	fmt.Fprintf(out, "workload analytics OK: %d regions (hottest %d: %dus), %d target series, advise(%d) -> %d shards, imbalance %.2f, drift: %d/%d regions would move (live %d-shard layout)\n",
 		len(wire.Regions), wire.Regions[0].Region, wire.Regions[0].LoadNS/1000,
-		len(wire.Targets), shards, len(wire.Advice.Shards), wire.Advice.Imbalance)
+		len(wire.Targets), shards, len(wire.Advice.Shards), wire.Advice.Imbalance,
+		wire.Applied.MovedRegions, wire.Applied.TotalRegions, wire.Applied.LiveShards)
 	return nil
 }

@@ -47,7 +47,22 @@ func main() {
 	analyzeSrv := flag.String("analyze-server", "",
 		"drive a live iqserver at this base URL with the skewed demo, then fetch and validate /v1/stats/workload (scripts/analyzecheck.sh)")
 	shards := flag.Int("shards", 4, "shard count the analyze modes request from the advisor")
+	shardDrillURL := flag.String("shard-drill", "",
+		"drive the bit-identity drill against the sharded iqserver at this base URL, comparing every response to the -shard-twin server (scripts/shardcheck.sh)")
+	shardTwinURL := flag.String("shard-twin", "",
+		"base URL of the -shards 1 twin iqserver the -shard-drill responses are compared against")
 	flag.Parse()
+	if *shardDrillURL != "" {
+		if *shardTwinURL == "" {
+			fmt.Fprintln(os.Stderr, "iqtool: -shard-drill requires -shard-twin")
+			os.Exit(2)
+		}
+		if err := shardDrill(os.Stdout, *shardDrillURL, *shardTwinURL, *seed, *shards, *scrapeWait); err != nil {
+			fmt.Fprintf(os.Stderr, "iqtool: shard-drill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *watchURL != "" {
 		if err := healthWatch(os.Stdout, *watchURL, *watchInterval, *watchCount, *scrapeWait); err != nil {
 			fmt.Fprintf(os.Stderr, "iqtool: watch %s: %v\n", *watchURL, err)

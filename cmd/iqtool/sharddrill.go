@@ -1,0 +1,327 @@
+package main
+
+// The -shard-drill mode is the live bit-identity drill behind
+// scripts/shardcheck.sh: it loads the same skewed dataset into two running
+// iqservers — one booted with -shards N, one with -shards 1 — drives an
+// identical sequence of solves and mutations through both over HTTP, and
+// requires every response to match field for field: strategies, costs, hit
+// counts, iteration counts, assigned ids, published epochs, and error
+// strings. The property test in the root package proves bit-identity
+// in-process; this proves the deployed binary's full HTTP path (JSON
+// round-trips included) preserves it, and that the sharded server actually
+// exercises its shards (nonzero iq_shard_* families on /metrics).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// drillClient wraps one server under the drill.
+type drillClient struct {
+	base   string
+	client *http.Client
+}
+
+// call POSTs (or GETs when body is nil) and returns status plus raw body.
+func (d *drillClient) call(method, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// waitReady loads the dataset, retrying while the server boots.
+func (d *drillClient) waitReady(payload []byte, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server %s not ready within %s: %v", d.base, timeout, lastErr)
+		}
+		status, body, err := d.call(http.MethodPost, "/v1/load", payload)
+		if err == nil && status == http.StatusOK {
+			return nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("load status %d: %s", status, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// drillStep issues one identical request to both servers and requires the
+// same status and — after stripping fields that legitimately differ (solve
+// stats carry wall-clock times) — the same response document.
+func drillStep(a, b *drillClient, method, path string, body []byte) (map[string]any, error) {
+	sa, rawA, err := a.call(method, path, body)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s against %s: %w", method, path, a.base, err)
+	}
+	sb, rawB, err := b.call(method, path, body)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s against %s: %w", method, path, b.base, err)
+	}
+	if sa != sb {
+		return nil, fmt.Errorf("%s %s: status diverged: sharded %d vs twin %d (%s vs %s)",
+			method, path, sa, sb, rawA, rawB)
+	}
+	docA, err := normalizeDrillDoc(rawA)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: sharded response: %w", method, path, err)
+	}
+	docB, err := normalizeDrillDoc(rawB)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: twin response: %w", method, path, err)
+	}
+	ja, _ := json.Marshal(docA)
+	jb, _ := json.Marshal(docB)
+	if !bytes.Equal(ja, jb) {
+		return nil, fmt.Errorf("%s %s: responses diverged:\n  sharded: %s\n  twin:    %s", method, path, ja, jb)
+	}
+	return docA, nil
+}
+
+// normalizeDrillDoc parses a response and strips the per-solve stats blocks:
+// wall times, probe scratch sizes, and the per-shard busy split are
+// measurements of the process, not of the answer.
+func normalizeDrillDoc(raw []byte) (map[string]any, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("not a JSON object: %w (%s)", err, raw)
+	}
+	delete(doc, "stats")
+	if results, ok := doc["results"].([]any); ok {
+		for _, r := range results {
+			if m, ok := r.(map[string]any); ok {
+				delete(m, "stats")
+			}
+		}
+	}
+	return doc, nil
+}
+
+// shardDrill runs the whole drill: shardedURL must be an iqserver booted
+// with -shards shards, twinURL one booted with -shards 1.
+func shardDrill(out io.Writer, shardedURL, twinURL string, seed int64, shards int, timeout time.Duration) error {
+	objs, queries := skewedWorkload(seed)
+	type queryWire struct {
+		ID    int       `json:"id"`
+		K     int       `json:"k"`
+		Point []float64 `json:"point"`
+	}
+	loadBody := struct {
+		Objects [][]float64 `json:"objects"`
+		Queries []queryWire `json:"queries"`
+	}{}
+	for _, o := range objs {
+		loadBody.Objects = append(loadBody.Objects, o)
+	}
+	for _, q := range queries {
+		loadBody.Queries = append(loadBody.Queries, queryWire{ID: q.ID, K: q.K, Point: q.Point})
+	}
+	payload, err := json.Marshal(loadBody)
+	if err != nil {
+		return err
+	}
+	sharded := &drillClient{base: shardedURL, client: &http.Client{Timeout: 30 * time.Second}}
+	twin := &drillClient{base: twinURL, client: &http.Client{Timeout: 30 * time.Second}}
+	if err := sharded.waitReady(payload, timeout); err != nil {
+		return err
+	}
+	if err := twin.waitReady(payload, timeout); err != nil {
+		return err
+	}
+
+	steps := 0
+	step := func(method, path string, body string) (map[string]any, error) {
+		var raw []byte
+		if body != "" {
+			raw = []byte(body)
+		}
+		doc, err := drillStep(sharded, twin, method, path, raw)
+		if err == nil {
+			steps++
+		}
+		return doc, err
+	}
+
+	// Three rounds of solve + mutate so the drill crosses epochs: solves on
+	// clustered targets, a solve-then-commit pair, query and object
+	// mutations (single and batched), and deliberate error paths.
+	var lastStrategy []float64
+	for round := 0; round < 3; round++ {
+		for _, target := range []int{7, 42, 101, 155} {
+			doc, err := step(http.MethodPost, "/v1/mincost",
+				fmt.Sprintf(`{"target":%d,"tau":%d}`, target+round, 6+round))
+			if err != nil {
+				return err
+			}
+			if s, ok := doc["strategy"].([]any); ok {
+				lastStrategy = lastStrategy[:0]
+				for _, v := range s {
+					lastStrategy = append(lastStrategy, v.(float64))
+				}
+			}
+		}
+		if _, err := step(http.MethodPost, "/v1/maxhit",
+			fmt.Sprintf(`{"target":%d,"budget":%g}`, 60+round, 0.4+0.2*float64(round))); err != nil {
+			return err
+		}
+		if len(lastStrategy) > 0 {
+			strat, _ := json.Marshal(lastStrategy)
+			if _, err := step(http.MethodPost, "/v1/evaluate",
+				fmt.Sprintf(`{"target":%d,"strategy":%s}`, 9+round, strat)); err != nil {
+				return err
+			}
+			if _, err := step(http.MethodPost, "/v1/commit",
+				fmt.Sprintf(`{"target":%d,"strategy":%s}`, 9+round, strat)); err != nil {
+				return err
+			}
+		}
+		if _, err := step(http.MethodPost, "/v1/queries",
+			fmt.Sprintf(`{"id":%d,"k":4,"point":[%g,0.5,0.5]}`, 900+round, 0.1+0.3*float64(round))); err != nil {
+			return err
+		}
+		if _, err := step(http.MethodPost, "/v1/objects",
+			fmt.Sprintf(`{"attrs":[%g,0.4,0.6]}`, 0.2+0.2*float64(round))); err != nil {
+			return err
+		}
+		if _, err := step(http.MethodPost, "/v1/commit/batch", fmt.Sprintf(`{"mutations":[
+			{"op":"add_query","query_id":%d,"k":3,"point":[0.8,%g,0.3]},
+			{"op":"remove_query","index":%d},
+			{"op":"add_object","attrs":[0.7,0.1,%g]}
+		]}`, 950+round, 0.2+0.1*float64(round), 5+round, 0.5+0.1*float64(round))); err != nil {
+			return err
+		}
+		// A top-k read and an error path: both must answer identically.
+		if _, err := step(http.MethodPost, "/v1/topk", `{"k":5,"point":[0.3,0.3,0.4]}`); err != nil {
+			return err
+		}
+		if _, err := step(http.MethodPost, "/v1/mincost", `{"target":99999,"tau":3}`); err != nil {
+			return err
+		}
+		if _, err := step(http.MethodPost, "/v1/solve/batch", fmt.Sprintf(`{"items":[
+			{"op":"mincost","target":%d,"tau":7},
+			{"op":"maxhit","target":%d,"budget":0.5},
+			{"op":"mincost","target":%d,"tau":200}
+		]}`, 20+round, 30+round, 40+round)); err != nil {
+			return err
+		}
+	}
+
+	// Final state must agree: same epoch, same workload size — and the
+	// sharded server must actually be sharded.
+	statusA, rawA, err := sharded.call(http.MethodGet, "/v1/stats", nil)
+	if err != nil || statusA != http.StatusOK {
+		return fmt.Errorf("sharded /v1/stats: status %d err %v", statusA, err)
+	}
+	statusB, rawB, err := twin.call(http.MethodGet, "/v1/stats", nil)
+	if err != nil || statusB != http.StatusOK {
+		return fmt.Errorf("twin /v1/stats: status %d err %v", statusB, err)
+	}
+	var statsA, statsB struct {
+		Objects int     `json:"objects"`
+		Queries int     `json:"queries"`
+		Epoch   float64 `json:"epoch"`
+		Shards  int     `json:"shards"`
+		Detail  []struct {
+			Shard   int    `json:"shard"`
+			Epoch   uint64 `json:"epoch"`
+			Queries int    `json:"queries"`
+		} `json:"shard_detail"`
+	}
+	if err := json.Unmarshal(rawA, &statsA); err != nil {
+		return fmt.Errorf("sharded /v1/stats: %w", err)
+	}
+	if err := json.Unmarshal(rawB, &statsB); err != nil {
+		return fmt.Errorf("twin /v1/stats: %w", err)
+	}
+	if statsA.Objects != statsB.Objects || statsA.Queries != statsB.Queries || statsA.Epoch != statsB.Epoch {
+		return fmt.Errorf("final state diverged: sharded {objects %d queries %d epoch %.0f} vs twin {objects %d queries %d epoch %.0f}",
+			statsA.Objects, statsA.Queries, statsA.Epoch, statsB.Objects, statsB.Queries, statsB.Epoch)
+	}
+	if statsA.Shards != shards {
+		return fmt.Errorf("sharded server reports shards=%d, want %d", statsA.Shards, shards)
+	}
+	if statsB.Shards != 1 {
+		return fmt.Errorf("twin server reports shards=%d, want 1", statsB.Shards)
+	}
+	if len(statsA.Detail) != shards {
+		return fmt.Errorf("sharded /v1/stats shard_detail has %d entries, want %d", len(statsA.Detail), shards)
+	}
+	// shard_detail counts live queries; /v1/stats counts index slots
+	// (tombstones included), so the sum bounds it from below. The drill's
+	// removals guarantee the two differ, which is itself worth probing.
+	totalQ, populated := 0, 0
+	for _, d := range statsA.Detail {
+		totalQ += d.Queries
+		if d.Queries > 0 {
+			populated++
+		}
+	}
+	if totalQ == 0 || totalQ > statsA.Queries {
+		return fmt.Errorf("shard_detail live queries sum to %d, want in (0, %d]", totalQ, statsA.Queries)
+	}
+	if populated < 2 {
+		return fmt.Errorf("only %d of %d shards own queries — the partition is degenerate", populated, shards)
+	}
+
+	// The sharded server must have exercised its shards: nonzero per-shard
+	// solve and mutation counters on /metrics.
+	status, metrics, err := sharded.call(http.MethodGet, "/metrics", nil)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("sharded /metrics: status %d err %v", status, err)
+	}
+	for _, family := range []string{"iq_shard_solves_total", "iq_shard_mutations_total", "iq_shard_epoch"} {
+		if err := requireNonzeroSeries(metrics, family, shards); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "shard drill OK: %d identical request/response pairs, final epoch %.0f on both, %d shards live with nonzero iq_shard_* series\n",
+		steps, statsA.Epoch, shards)
+	return nil
+}
+
+// requireNonzeroSeries asserts the Prometheus exposition carries the family
+// with a shard label for every shard and a nonzero value on at least one.
+func requireNonzeroSeries(exposition []byte, family string, shards int) error {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(family) + `\{shard="(\d+)"\} (\S+)$`)
+	matches := re.FindAllStringSubmatch(string(exposition), -1)
+	seen := map[int]bool{}
+	nonzero := false
+	for _, m := range matches {
+		sh, _ := strconv.Atoi(m[1])
+		seen[sh] = true
+		if v, err := strconv.ParseFloat(m[2], 64); err == nil && v != 0 {
+			nonzero = true
+		}
+	}
+	for sh := 0; sh < shards; sh++ {
+		if !seen[sh] {
+			return fmt.Errorf("/metrics: %s missing series for shard %d", family, sh)
+		}
+	}
+	if !nonzero {
+		return fmt.Errorf("/metrics: %s is zero on every shard — the sharded path never ran", family)
+	}
+	return nil
+}

@@ -1,0 +1,488 @@
+package core
+
+// This file is the scatter-gather entry point for sharded solves. A sharded
+// iq.System partitions the query workload by query-space position into N
+// shard indexes (every shard sees all objects, each query lives in exactly
+// one shard), and the coordinator below runs the SAME greedy loops as
+// minCostSolve/maxHitSolve over the union:
+//
+//   scatter — one generateCandidates per shard, concurrently. Each shard
+//     probes only its own unhit queries, so the union of per-shard probes is
+//     exactly the monolithic round's probe set, and each per-query strategy
+//     depends only on (threshold, current strategy, query, cost, bounds) —
+//     all shard-independent. Per-shard skybands oversize k past any owned
+//     query's K, so thresholds match the monolithic index bit for bit.
+//   gather — per-shard hit counts are completed into global hit counts: for
+//     every surviving candidate, each non-owning shard's evaluator counts
+//     hits among its own queries and the coordinator sums. Shard t's
+//     contributions are computed by one goroutine owning evaluator t (the
+//     scatter fan-out has joined, so the evaluator is free), so the gather
+//     parallelises as well as the scatter.
+//   select/apply — bestRatio, anti-overshoot, and the fill pass run on the
+//     gathered candidates with globalized query indices. All three break
+//     ties through (ratio, cost, query) or (cost, query), total orders over
+//     unique query indices, so candidate ORDER is irrelevant and the winner
+//     equals the monolithic winner. The winner's hit set is fanned back out
+//     (one HitSetBits per shard over the shard-local bitset).
+//
+// Together with identical iteration counting, cancellation checkpoints, and
+// guard thresholds (always against the GLOBAL query count), results are
+// bit-identical to the 1-shard engine at any shard and worker count — the
+// property test in the root package holds this line.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"iq/internal/bitset"
+	"iq/internal/ese"
+	"iq/internal/obs"
+	"iq/internal/subdomain"
+	"iq/internal/vec"
+)
+
+// ShardView is the coordinator's handle on one shard: the shard's index
+// (whose workload holds every object but only the shard's queries) and the
+// mapping from shard-local query index to global query index. Tombstoned
+// queries keep their slots on both sides, so len(GlobalQ) equals the shard
+// workload's query count and the GlobalQ values across shards partition
+// [0, global query count).
+type ShardView struct {
+	Idx     *subdomain.Index
+	GlobalQ []int
+}
+
+// shardSolver carries the per-shard state one scatter-gather solve reuses
+// across greedy rounds: evaluator pools, shard-local hit bitsets, probe
+// scratch, and per-shard busy-time accounting.
+type shardSolver struct {
+	views  []ShardView
+	target int
+	nq     int // global query count (tombstones included), Σ shard counts
+	pools  [][]*ese.Evaluator
+	rel    []func()
+	hit    []*bitset.Bits
+	rs     []*roundScratch
+	busy   []int64 // ns of shard-local work, indexed by shard
+}
+
+func newShardSolver(views []ShardView, target int) *shardSolver {
+	nq := 0
+	for _, v := range views {
+		nq += v.Idx.Workload().NumQueries()
+	}
+	return &shardSolver{
+		views:  views,
+		target: target,
+		nq:     nq,
+		busy:   make([]int64, len(views)),
+	}
+}
+
+// acquire checks out one evaluator pool per shard (each keyed by the shard's
+// index, so the cross-solve caches stay per-shard) and seeds the shard-local
+// base hit sets. workers bounds the per-shard probe fan-out, exactly as it
+// bounds the monolithic solver's.
+func (ss *shardSolver) acquire(ctx context.Context, workers int) error {
+	n := len(ss.views)
+	ss.pools = make([][]*ese.Evaluator, n)
+	ss.rel = make([]func(), 0, n)
+	ss.hit = make([]*bitset.Bits, n)
+	ss.rs = make([]*roundScratch, n)
+	for t, v := range ss.views {
+		pool, release, err := AcquireEvaluators(ctx, v.Idx, ss.target, workers)
+		if err != nil {
+			ss.close()
+			return err
+		}
+		ss.pools[t] = pool
+		ss.rel = append(ss.rel, release)
+		ss.hit[t] = bitset.New(v.Idx.Workload().NumQueries())
+		pool[0].BaseHitSet(ss.hit[t])
+		ss.rs[t] = &roundScratch{}
+	}
+	return nil
+}
+
+func (ss *shardSolver) close() {
+	for _, rel := range ss.rel {
+		rel()
+	}
+	ss.rel = nil
+}
+
+// baseHits sums the per-shard base hit counts. Every query is owned by
+// exactly one shard and every shard sees the full object table, so the sum
+// equals the monolithic BaseHits.
+func (ss *shardSolver) baseHits() int {
+	total := 0
+	for t := range ss.views {
+		total += ss.pools[t][0].BaseHits()
+	}
+	return total
+}
+
+// scatterRound runs one greedy round's candidate generation across all
+// shards and gathers the results into one candidate list with GLOBAL query
+// indices and GLOBAL hit counts. The returned slice is freshly allocated
+// per round (candidates survive into the solvers' fill passes).
+func (ss *shardSolver) scatterRound(ctx context.Context, cur vec.Vector, cost Cost, bounds *Bounds, rec *recorder) ([]Candidate, error) {
+	n := len(ss.views)
+	sctx, ssp := obs.StartSpan(ctx, "scatter")
+	ssp.SetAttr("shards", n)
+	perShard := make([][]Candidate, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for t := range ss.views {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			t0 := time.Now()
+			perShard[t], errs[t] = generateCandidates(sctx, ss.views[t].Idx,
+				ss.pools[t], ss.target, cur, ss.hit[t], cost, bounds, ss.rs[t], rec)
+			ss.busy[t] += time.Since(t0).Nanoseconds()
+		}(t)
+	}
+	wg.Wait()
+	ssp.End()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Flatten shard-major: globalize query indices and remember owners.
+	// Per-shard slices alias each shard's roundScratch and are dead after
+	// this copy.
+	var flat []Candidate
+	var owner []int
+	for t, cands := range perShard {
+		for _, c := range cands {
+			c.Query = ss.views[t].GlobalQ[c.Query]
+			flat = append(flat, c)
+			owner = append(owner, t)
+		}
+	}
+	if len(flat) == 0 {
+		return flat, nil
+	}
+
+	// Improved coefficients per candidate, computed once and read-only for
+	// every gather goroutine. Each candidate already embedded successfully
+	// inside its owning shard's probe, so failure here is impossible for
+	// the same inputs; the error path stays for defense.
+	w := ss.views[0].Idx.Workload()
+	attrs := w.Attrs(ss.target)
+	coeffs := make([]vec.Vector, len(flat))
+	for i, c := range flat {
+		coeff, err := w.Space().Embed(vec.Add(attrs, c.Strategy))
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = coeff
+	}
+
+	// Gather: shard t's goroutine owns evaluator t exclusively and counts
+	// that shard's hits for every candidate it does NOT own (owned hits
+	// were already counted during the probe). Contributions land in
+	// per-shard slices; the coordinator sums after the join, in fixed
+	// shard order.
+	_, gsp := obs.StartSpan(ctx, "gather")
+	gsp.SetAttr("shards", n)
+	gsp.SetAttr("cands", len(flat))
+	contrib := make([][]int, n)
+	var gw sync.WaitGroup
+	for t := range ss.views {
+		gw.Add(1)
+		go func(t int) {
+			defer gw.Done()
+			t0 := time.Now()
+			ct := make([]int, len(flat))
+			ev := ss.pools[t][0]
+			for i := range flat {
+				if owner[i] != t {
+					ct[i] = ev.HitsWithCoeff(coeffs[i])
+				}
+			}
+			contrib[t] = ct
+			ss.busy[t] += time.Since(t0).Nanoseconds()
+		}(t)
+	}
+	gw.Wait()
+	gsp.End()
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	for i := range flat {
+		for t := 0; t < n; t++ {
+			if owner[i] != t {
+				flat[i].Hits += contrib[t][i]
+			}
+		}
+	}
+	return flat, nil
+}
+
+// apply fans the winning strategy's hit set back out: every shard refreshes
+// its local bitset from the shared improved coefficients (HitSetBits only
+// reads coeff).
+func (ss *shardSolver) apply(coeff vec.Vector) {
+	for t := range ss.views {
+		t0 := time.Now()
+		ss.pools[t][0].HitSetBits(coeff, ss.hit[t])
+		ss.busy[t] += time.Since(t0).Nanoseconds()
+	}
+}
+
+// recordShardSolve publishes the per-shard solve counters and busy time.
+func recordShardSolve(busy []int64) {
+	for t, ns := range busy {
+		shard := strconv.Itoa(t)
+		obs.Default.Counter("iq_shard_solves_total",
+			"Scatter-gather solves that touched this shard.", "shard", shard).Inc()
+		obs.Default.Counter("iq_shard_busy_nanoseconds_total",
+			"Shard-local busy time inside scatter-gather solves.", "shard", shard).Add(ns)
+	}
+}
+
+// ShardedMinCostIQCtx answers a Min-Cost improvement query over a sharded
+// workload with the scatter-gather coordinator. Semantics, cancellation
+// behavior, and results are bit-identical to MinCostIQCtx over the
+// equivalent monolithic index.
+func ShardedMinCostIQCtx(ctx context.Context, views []ShardView, req MinCostRequest) (*Result, error) {
+	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "mincost")
+	rec := newRecorder()
+	res, busy, err := shardedMinCostSolve(ctx, views, req, rec)
+	rounds := 0
+	if res != nil {
+		rounds = res.Iterations
+	}
+	st := finishSolve(ctx, "mincost", req.Target, start, rec, rounds, err)
+	st.ShardBusy = busy
+	endSolveSpan(span, st, err)
+	if busy != nil {
+		recordShardSolve(busy)
+	}
+	if res != nil {
+		res.Stats = st
+	}
+	return res, err
+}
+
+func shardedMinCostSolve(ctx context.Context, views []ShardView, req MinCostRequest, rec *recorder) (*Result, []int64, error) {
+	if len(views) == 0 {
+		return nil, nil, fmt.Errorf("core: sharded solve with no shards")
+	}
+	// Validation mirrors minCostSolve exactly (messages included): every
+	// shard workload holds the full object table, so shard 0 answers the
+	// target checks, and tau checks run against the global query count.
+	if err := validateCommon(views[0].Idx, req.Target, req.Cost); err != nil {
+		return nil, nil, err
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	ss := newShardSolver(views, req.Target)
+	if req.Tau < 0 {
+		return nil, nil, fmt.Errorf("core: negative tau %d", req.Tau)
+	}
+	if req.Tau > ss.nq {
+		return nil, nil, fmt.Errorf("core: tau %d exceeds query count %d: %w", req.Tau, ss.nq, ErrGoalUnreachable)
+	}
+	if err := ss.acquire(ctx, req.Workers); err != nil {
+		return nil, nil, err
+	}
+	defer ss.close()
+	w := views[0].Idx.Workload()
+	d := len(w.Attrs(req.Target))
+	base := ss.baseHits()
+	res := &Result{Strategy: vec.New(d), BaseHits: base, Hits: base}
+	if res.Hits >= req.Tau {
+		return res, ss.busy, nil // already satisfied with the zero strategy
+	}
+
+	cur := vec.New(d)
+	curHits := base
+
+	for curHits < req.Tau {
+		res.Iterations++
+		if err := checkpoint(ctx, "mincost", res.Iterations); err != nil {
+			return nil, ss.busy, err
+		}
+		rctx, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttr("round", res.Iterations)
+		cands, err := ss.scatterRound(rctx, cur, req.Cost, req.Bounds, rec)
+		if err != nil {
+			rsp.End()
+			return nil, ss.busy, err
+		}
+		res.Evaluations += len(cands)
+		best, ok := bestRatio(cands, curHits)
+		if !ok {
+			rsp.End()
+			return res, ss.busy, fmt.Errorf("core: stalled at %d of %d hits: %w", curHits, req.Tau, ErrGoalUnreachable)
+		}
+		if best.Hits > req.Tau {
+			// Anti-overshoot, identical to the monolithic rule.
+			cheapest, found := best, false
+			for _, c := range cands {
+				if c.Hits < req.Tau {
+					continue
+				}
+				if !found || c.Cost < cheapest.Cost ||
+					(c.Cost == cheapest.Cost && c.Query < cheapest.Query) {
+					cheapest, found = c, true
+				}
+			}
+			if found {
+				best = cheapest
+			}
+		}
+		cur = best.Strategy
+		curHits = best.Hits
+		coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
+		if err != nil {
+			rsp.End()
+			return res, ss.busy, err
+		}
+		ss.apply(coeff)
+		res.Strategy = vec.Clone(cur)
+		res.Cost = req.Cost.Of(cur)
+		res.Hits = curHits
+		rsp.SetAttr("hits", curHits)
+		rsp.End()
+		if res.Iterations > ss.nq+req.Tau+8 {
+			return res, ss.busy, fmt.Errorf("core: iteration guard tripped: %w", ErrGoalUnreachable)
+		}
+	}
+	return res, ss.busy, nil
+}
+
+// ShardedMaxHitIQCtx answers a Max-Hit improvement query over a sharded
+// workload with the scatter-gather coordinator; bit-identical to
+// MaxHitIQCtx over the equivalent monolithic index.
+func ShardedMaxHitIQCtx(ctx context.Context, views []ShardView, req MaxHitRequest) (*Result, error) {
+	start := time.Now()
+	ctx, span := startSolveSpan(ctx, "maxhit")
+	rec := newRecorder()
+	res, busy, err := shardedMaxHitSolve(ctx, views, req, rec)
+	rounds := 0
+	if res != nil {
+		rounds = res.Iterations
+	}
+	st := finishSolve(ctx, "maxhit", req.Target, start, rec, rounds, err)
+	st.ShardBusy = busy
+	endSolveSpan(span, st, err)
+	if busy != nil {
+		recordShardSolve(busy)
+	}
+	if res != nil {
+		res.Stats = st
+	}
+	return res, err
+}
+
+func shardedMaxHitSolve(ctx context.Context, views []ShardView, req MaxHitRequest, rec *recorder) (*Result, []int64, error) {
+	if len(views) == 0 {
+		return nil, nil, fmt.Errorf("core: sharded solve with no shards")
+	}
+	if err := validateCommon(views[0].Idx, req.Target, req.Cost); err != nil {
+		return nil, nil, err
+	}
+	if req.Budget < 0 {
+		return nil, nil, fmt.Errorf("core: negative budget %g", req.Budget)
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	ss := newShardSolver(views, req.Target)
+	if err := ss.acquire(ctx, req.Workers); err != nil {
+		return nil, nil, err
+	}
+	defer ss.close()
+	w := views[0].Idx.Workload()
+	d := len(w.Attrs(req.Target))
+	base := ss.baseHits()
+	res := &Result{Strategy: vec.New(d), BaseHits: base, Hits: base}
+
+	cur := vec.New(d)
+	curHits := base
+
+	for {
+		res.Iterations++
+		if res.Iterations > ss.nq+8 {
+			break
+		}
+		if err := checkpoint(ctx, "maxhit", res.Iterations); err != nil {
+			return nil, ss.busy, err
+		}
+		rctx, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttr("round", res.Iterations)
+		cands, err := ss.scatterRound(rctx, cur, req.Cost, req.Bounds, rec)
+		if err != nil {
+			rsp.End()
+			return nil, ss.busy, err
+		}
+		res.Evaluations += len(cands)
+		best, ok := bestRatio(cands, curHits)
+		if !ok {
+			rsp.End()
+			break // no candidate gains hits: every query hit or infeasible
+		}
+		if best.Cost <= req.Budget {
+			cur = best.Strategy
+			curHits = best.Hits
+			coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
+			if err != nil {
+				rsp.End()
+				return res, ss.busy, err
+			}
+			ss.apply(coeff)
+			res.Strategy = vec.Clone(cur)
+			res.Cost = req.Cost.Of(cur)
+			res.Hits = curHits
+			rsp.SetAttr("hits", curHits)
+			rsp.End()
+			continue
+		}
+		// Fill pass, identical to the monolithic rule. (Cost, Query) is a
+		// total order over unique query indices, so sorting the shard-major
+		// flattened slice yields exactly the monolithic sorted sequence.
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].Cost != cands[b].Cost {
+				return cands[a].Cost < cands[b].Cost
+			}
+			return cands[a].Query < cands[b].Query
+		})
+		applied := false
+		for _, c := range cands {
+			if c.Hits <= curHits || c.Cost > req.Budget {
+				continue
+			}
+			cur = c.Strategy
+			curHits = c.Hits
+			coeff, err := w.Space().Embed(vec.Add(w.Attrs(req.Target), cur))
+			if err != nil {
+				rsp.End()
+				return res, ss.busy, err
+			}
+			ss.apply(coeff)
+			res.Strategy = vec.Clone(cur)
+			res.Cost = req.Cost.Of(cur)
+			res.Hits = curHits
+			applied = true
+			break
+		}
+		rsp.SetAttr("hits", curHits)
+		rsp.End()
+		if !applied {
+			break // nothing affordable gains a hit
+		}
+	}
+	return res, ss.busy, nil
+}

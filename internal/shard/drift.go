@@ -1,0 +1,81 @@
+package shard
+
+import "iq/internal/obs/workload"
+
+// Drift compares the advisor's proposed partition against the live shard
+// assignment. This is the "applied" half of the advisor surface: the
+// proposal says what a rebalance WOULD look like; the drift report says how
+// far the running layout has drifted from it — which regions would change
+// owners and how much of the windowed load they carry. Both iqserver's
+// /v1/stats/workload?advise=k handler and iqtool -analyze render it.
+type DriftReport struct {
+	// LiveShards is the running engine's shard count (1 = unsharded).
+	LiveShards int `json:"live_shards"`
+	// AdvisedK is the k the proposal was computed for.
+	AdvisedK int `json:"advised_k"`
+	// LiveImbalance is max/mean windowed load across the live shards
+	// (regions grouped by the shard that minted them); 1.0 is perfectly
+	// balanced, 0 when the window carries no load.
+	LiveImbalance float64 `json:"live_imbalance"`
+	// AdvisedImbalance echoes the proposal's predicted imbalance.
+	AdvisedImbalance float64 `json:"advised_imbalance"`
+	// TotalRegions counts regions carrying windowed load; MovedRegions is
+	// how many of them the proposal would assign to a different shard than
+	// the one that owns them now.
+	TotalRegions int `json:"total_regions"`
+	MovedRegions int `json:"moved_regions"`
+	// MovedLoadShare is the fraction of total windowed load sitting on
+	// regions that would move (0 = the live layout already matches).
+	MovedLoadShare float64 `json:"moved_load_share"`
+}
+
+// Drift builds the report for a live engine with liveShards shards from an
+// analytics snapshot and the proposal advised from it. Returns nil when the
+// proposal is nil (nothing advised, nothing to compare).
+func Drift(liveShards int, snap *workload.Snapshot, prop *workload.Proposal) *DriftReport {
+	if prop == nil || snap == nil {
+		return nil
+	}
+	if liveShards < 1 {
+		liveShards = 1
+	}
+	rep := &DriftReport{
+		LiveShards:       liveShards,
+		AdvisedK:         prop.K,
+		AdvisedImbalance: prop.Imbalance,
+	}
+	// Advised owner per region.
+	advised := make(map[uint64]int, len(snap.Regions))
+	for i, sh := range prop.Shards {
+		for _, r := range sh.Regions {
+			advised[r] = i
+		}
+	}
+	liveLoad := make([]int64, liveShards)
+	var total, moved int64
+	for _, r := range snap.Regions {
+		live := RegionShard(r.Region)
+		if live >= liveShards {
+			live = liveShards - 1 // stale region from a previous layout
+		}
+		liveLoad[live] += r.LoadNS
+		total += r.LoadNS
+		rep.TotalRegions++
+		if adv, ok := advised[r.Region]; ok && adv != live {
+			rep.MovedRegions++
+			moved += r.LoadNS
+		}
+	}
+	if total > 0 {
+		rep.MovedLoadShare = float64(moved) / float64(total)
+		var max int64
+		for _, l := range liveLoad {
+			if l > max {
+				max = l
+			}
+		}
+		mean := float64(total) / float64(liveShards)
+		rep.LiveImbalance = float64(max) / mean
+	}
+	return rep
+}

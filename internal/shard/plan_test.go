@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"testing"
+
+	"iq/internal/obs/workload"
+)
+
+func TestPlanRoute(t *testing.T) {
+	p := Plan{Cuts: []float64{0.25, 0.5, 0.75}}
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", p.Shards())
+	}
+	cases := []struct {
+		pos  float64
+		want int
+	}{
+		{0, 0}, {0.24, 0}, {0.25, 1}, {0.4, 1}, {0.5, 2}, {0.74, 2}, {0.75, 3}, {1.5, 3},
+	}
+	for _, c := range cases {
+		if got := p.Route(c.pos); got != c.want {
+			t.Errorf("Route(%g) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestPlanFromPositions(t *testing.T) {
+	// Even split over an empty position set.
+	p := PlanFromPositions(nil, 4)
+	if len(p.Cuts) != 3 || p.Cuts[0] != 0.25 || p.Cuts[1] != 0.5 || p.Cuts[2] != 0.75 {
+		t.Fatalf("empty positions: cuts = %v", p.Cuts)
+	}
+	// Quantile cuts balance a skewed distribution: all mass near 0.1 means
+	// every cut lands near 0.1, not at even fractions of [0,1].
+	pos := make([]float64, 100)
+	for i := range pos {
+		pos[i] = 0.1 + float64(i)*0.001
+	}
+	p = PlanFromPositions(pos, 2)
+	if len(p.Cuts) != 1 || p.Cuts[0] < 0.1 || p.Cuts[0] > 0.2 {
+		t.Fatalf("skewed positions: cuts = %v", p.Cuts)
+	}
+	counts := make([]int, 2)
+	for _, x := range pos {
+		counts[p.Route(x)]++
+	}
+	if counts[0] < 40 || counts[1] < 40 {
+		t.Fatalf("quantile plan unbalanced: %v", counts)
+	}
+}
+
+func TestPlanFromProposal(t *testing.T) {
+	if _, ok := PlanFromProposal(nil, 4); ok {
+		t.Fatal("nil proposal must be unusable")
+	}
+	prop := &workload.Proposal{K: 3, Shards: []workload.Shard{
+		{PosMin: 0.0, PosMax: 0.2},
+		{PosMin: 0.3, PosMax: 0.5},
+		{PosMin: 0.6, PosMax: 0.9},
+	}}
+	p, ok := PlanFromProposal(prop, 3)
+	if !ok || len(p.Cuts) != 2 {
+		t.Fatalf("cuts = %v ok=%v", p.Cuts, ok)
+	}
+	if p.Cuts[0] != 0.25 || p.Cuts[1] != 0.55 {
+		t.Fatalf("midpoint cuts = %v, want [0.25 0.55]", p.Cuts)
+	}
+	// A proposal with fewer shards than k pads with empty trailing shards.
+	p, ok = PlanFromProposal(prop, 5)
+	if !ok || len(p.Cuts) != 4 {
+		t.Fatalf("padded cuts = %v ok=%v", p.Cuts, ok)
+	}
+}
+
+func TestRegionShard(t *testing.T) {
+	if RegionShard(1) != 0 {
+		t.Fatal("region 1 must belong to shard 0")
+	}
+	if got := RegionShard(2*RegionStride + 7); got != 2 {
+		t.Fatalf("RegionShard = %d, want 2", got)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	snap := &workload.Snapshot{Regions: []workload.RegionStat{
+		{Region: 1, Pos: 0.1, LoadNS: 600},
+		{Region: RegionStride + 1, Pos: 0.6, LoadNS: 300},
+		{Region: RegionStride + 2, Pos: 0.9, LoadNS: 100},
+	}}
+	prop := &workload.Proposal{K: 2, Imbalance: 1.1, Shards: []workload.Shard{
+		{Regions: []uint64{1, RegionStride + 1}},
+		{Regions: []uint64{RegionStride + 2}},
+	}}
+	rep := Drift(2, snap, prop)
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	// Region RegionStride+1 lives on shard 1 but the proposal puts it on
+	// shard 0; RegionStride+2 lives on shard 1 and stays.
+	if rep.MovedRegions != 1 {
+		t.Fatalf("MovedRegions = %d, want 1", rep.MovedRegions)
+	}
+	if rep.MovedLoadShare != 0.3 {
+		t.Fatalf("MovedLoadShare = %g, want 0.3", rep.MovedLoadShare)
+	}
+	// Live loads: shard 0 = 600, shard 1 = 400; max/mean = 600/500.
+	if rep.LiveImbalance != 1.2 {
+		t.Fatalf("LiveImbalance = %g, want 1.2", rep.LiveImbalance)
+	}
+	if Drift(2, snap, nil) != nil {
+		t.Fatal("nil proposal must yield nil report")
+	}
+}

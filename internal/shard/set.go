@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"iq/internal/core"
+	"iq/internal/subdomain"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// Loc places one global query: the shard that owns it and its index inside
+// that shard's workload.
+type Loc struct {
+	Shard int
+	Local int
+}
+
+// Shard is one partition: a subdomain index over a workload holding every
+// object but only the shard's queries, plus the local→global query mapping.
+// Tombstoned queries keep their slots on both sides.
+type Shard struct {
+	Idx *subdomain.Index
+	// GlobalQ maps shard-local query index → global query index; its length
+	// always equals the shard workload's query count.
+	GlobalQ []int
+}
+
+// Set is one epoch's sharded view: the routing plan, the shards, and the
+// global→local query ownership table. Like the System states that hold it, a
+// published Set is immutable — mutations clone the affected shards (and the
+// Owner table) and publish a new Set.
+type Set struct {
+	Plan   Plan
+	Shards []*Shard
+	// Owner maps global query index → (shard, local index).
+	Owner []Loc
+}
+
+// Build partitions w's queries by plan and constructs one workload/index
+// pair per shard. Object tombstones and query tombstones are replayed into
+// each shard so the per-shard state matches the global workload exactly;
+// every shard's dirty set is drained afterwards so the fresh Set starts with
+// a clean invalidation window, like a freshly built monolithic index.
+func Build(ctx context.Context, w *topk.Workload, plan Plan, opts subdomain.Options) (*Set, error) {
+	n := plan.Shards()
+	if n < 1 {
+		return nil, fmt.Errorf("shard: plan has no shards")
+	}
+	perQ := make([][]topk.Query, n)
+	perG := make([][]int, n)
+	perRemoved := make([][]int, n)
+	owner := make([]Loc, w.NumQueries())
+	for j := 0; j < w.NumQueries(); j++ {
+		q := w.Query(j)
+		t := plan.Route(QueryPos(q))
+		owner[j] = Loc{Shard: t, Local: len(perQ[t])}
+		if w.IsQueryRemoved(j) {
+			perRemoved[t] = append(perRemoved[t], len(perQ[t]))
+		}
+		perQ[t] = append(perQ[t], q)
+		perG[t] = append(perG[t], j)
+	}
+	objects := make([]vec.Vector, w.NumObjects())
+	for i := range objects {
+		objects[i] = w.Attrs(i)
+	}
+	set := &Set{Plan: plan, Shards: make([]*Shard, n), Owner: owner}
+	for t := 0; t < n; t++ {
+		sw, err := topk.NewWorkload(w.Space(), objects, perQ[t])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", t, err)
+		}
+		for i := 0; i < w.NumObjects(); i++ {
+			if w.IsRemoved(i) {
+				sw.RemoveObject(i)
+			}
+		}
+		sopts := opts
+		sopts.RegionBase = uint64(t) * RegionStride
+		idx, err := subdomain.BuildCtx(ctx, sw, sopts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", t, err)
+		}
+		for _, lj := range perRemoved[t] {
+			if err := idx.RemoveQueryCtx(ctx, lj); err != nil {
+				return nil, fmt.Errorf("shard %d: replay removed query: %w", t, err)
+			}
+		}
+		idx.TakeDirty()
+		idx.TakeRegionResets()
+		set.Shards[t] = &Shard{Idx: idx, GlobalQ: perG[t]}
+	}
+	return set, nil
+}
+
+// CloneFor prepares a Set for a copy-on-write mutation touching the flagged
+// shards: those get deep-cloned workload/index pairs (and copied GlobalQ
+// slices, which AddQuery appends to), the rest share the published pointers
+// — publishing the returned Set swaps every affected shard's epoch in one
+// atomic store. The Owner table is always copied (it is one small struct per
+// query).
+func (s *Set) CloneFor(ctx context.Context, affected []bool) *Set {
+	next := &Set{
+		Plan:   s.Plan,
+		Shards: append([]*Shard(nil), s.Shards...),
+		Owner:  append([]Loc(nil), s.Owner...),
+	}
+	for t, sh := range s.Shards {
+		if !affected[t] {
+			continue
+		}
+		sw := sh.Idx.Workload().Clone()
+		next.Shards[t] = &Shard{
+			Idx:     sh.Idx.CloneCtx(ctx, sw),
+			GlobalQ: append([]int(nil), sh.GlobalQ...),
+		}
+	}
+	return next
+}
+
+// Views adapts the Set for the scatter-gather solvers.
+func (s *Set) Views() []core.ShardView {
+	views := make([]core.ShardView, len(s.Shards))
+	for t, sh := range s.Shards {
+		views[t] = core.ShardView{Idx: sh.Idx, GlobalQ: sh.GlobalQ}
+	}
+	return views
+}
+
+// LiveQueries counts shard t's non-tombstoned queries.
+func (s *Set) LiveQueries(t int) int {
+	sh := s.Shards[t]
+	w := sh.Idx.Workload()
+	live := 0
+	for j := 0; j < w.NumQueries(); j++ {
+		if !w.IsQueryRemoved(j) {
+			live++
+		}
+	}
+	return live
+}
+
+// Stats aggregates the per-shard index footprints.
+func (s *Set) Stats() subdomain.Stats {
+	var out subdomain.Stats
+	for _, sh := range s.Shards {
+		st := sh.Idx.Stats()
+		out.Queries += st.Queries
+		out.Subdomains += st.Subdomains
+		out.Candidates += st.Candidates
+		out.TreeNodes += st.TreeNodes
+		out.SizeBytes += st.SizeBytes
+		out.Intersections += st.Intersections
+	}
+	return out
+}

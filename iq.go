@@ -36,6 +36,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,7 @@ import (
 	"iq/internal/obs"
 	"iq/internal/obs/history"
 	"iq/internal/obs/workload"
+	"iq/internal/shard"
 	"iq/internal/subdomain"
 	"iq/internal/topk"
 	"iq/internal/vec"
@@ -269,12 +271,19 @@ type durabilitySink interface {
 	logTxn(ctx context.Context, epoch uint64, muts []Mutation) error
 }
 
-// state is one immutable epoch: a workload/index pair that is never mutated
-// after publication. The two are cloned and replaced together — an index is
-// only ever paired with the workload it was built against.
+// state is one immutable epoch. Unsharded, it is a workload/index pair that
+// is never mutated after publication (idx built against w, cloned and
+// replaced together). Sharded (opts.Shards > 1), idx is nil and sh carries
+// the per-shard workload/index pairs instead; w remains the GLOBAL workload
+// — the single source of truth for query/object numbering, Evaluate, and
+// snapshots — kept in lockstep with the shards by the sharded commit
+// protocol. opts records the construction options so snapshots round-trip
+// them (a recovered System rebuilds with the same sharding layout).
 type state struct {
 	w     *topk.Workload
 	idx   *subdomain.Index
+	sh    *shard.Set
+	opts  IndexOptions
 	epoch uint64
 }
 
@@ -282,9 +291,9 @@ type state struct {
 func (s *System) view() *state { return s.cur.Load() }
 
 // publish installs st as the initial epoch.
-func newSystem(w *topk.Workload, idx *subdomain.Index) *System {
+func newSystem(w *topk.Workload, idx *subdomain.Index, opts IndexOptions) *System {
 	s := &System{}
-	s.cur.Store(&state{w: w, idx: idx})
+	s.cur.Store(&state{w: w, idx: idx, opts: opts})
 	return s
 }
 
@@ -401,17 +410,23 @@ func NewWithOptions(space Space, objects []Vector, queries []Query, opts IndexOp
 
 // NewWithOptionsCtx is NewWithOptions under a context: when the context
 // carries a Trace, subdomain-index construction records an "index/build"
-// span into it, so tools can profile startup alongside solves.
+// span into it, so tools can profile startup alongside solves. With
+// opts.Shards > 1 the query workload is partitioned across that many shard
+// indexes behind the same facade; results are bit-identical to the
+// unsharded engine at any shard count.
 func NewWithOptionsCtx(ctx context.Context, space Space, objects []Vector, queries []Query, opts IndexOptions) (*System, error) {
 	w, err := topk.NewWorkload(space, objects, queries)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Shards > 1 {
+		return newShardedSystem(ctx, w, opts)
+	}
 	idx, err := subdomain.BuildCtx(ctx, w, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newSystem(w, idx), nil
+	return newSystem(w, idx, opts), nil
 }
 
 func buildIndex(w *topk.Workload, opts IndexOptions) (*subdomain.Index, error) {
@@ -440,7 +455,7 @@ func (s *System) MinCost(req MinCostRequest) (*Result, error) {
 // corresponding context error); partial greedy progress is discarded and the
 // System is unchanged.
 func (s *System) MinCostCtx(ctx context.Context, req MinCostRequest) (*Result, error) {
-	return core.MinCostIQCtx(ctx, s.view().idx, req)
+	return s.view().solveMinCost(ctx, req)
 }
 
 // MaxHit answers a Max-Hit improvement query (Definition 3 / Algorithm 4).
@@ -451,7 +466,7 @@ func (s *System) MaxHit(req MaxHitRequest) (*Result, error) {
 // MaxHitCtx is MaxHit under a context; cancellation semantics match
 // MinCostCtx.
 func (s *System) MaxHitCtx(ctx context.Context, req MaxHitRequest) (*Result, error) {
-	return core.MaxHitIQCtx(ctx, s.view().idx, req)
+	return s.view().solveMaxHit(ctx, req)
 }
 
 // BatchItem is one solve of a batch: exactly one of MinCost or MaxHit must
@@ -473,34 +488,83 @@ func (s *System) SolveBatch(items []BatchItem) []BatchResult {
 	return s.SolveBatchCtx(context.Background(), items)
 }
 
+// batchParallelism holds the SolveBatch worker-pool bound; 0 means
+// GOMAXPROCS. See SetBatchParallelism.
+var batchParallelism atomic.Int32
+
+// SetBatchParallelism bounds the worker pool SolveBatch/SolveBatchCtx fan
+// items out on and returns the previous setting. 0 (the default) means
+// GOMAXPROCS; 1 restores the strictly sequential pre-pool behaviour. The
+// knob is global because batches from concurrent callers share the same
+// CPUs; per-solve parallelism is still per-request via Workers.
+func SetBatchParallelism(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(batchParallelism.Swap(int32(n)))
+}
+
+// BatchParallelism reports the current SolveBatch worker-pool bound (0 =
+// GOMAXPROCS).
+func BatchParallelism() int { return int(batchParallelism.Load()) }
+
 // SolveBatchCtx answers several independent improvement queries against a
 // single epoch snapshot: every item sees the same immutable workload/index
-// pair even if writers land mid-batch. Items run sequentially, which is what
-// makes batching fast — consecutive solves against the same snapshot share
-// the warm threshold and evaluator caches, so a batch of N solves pays the
-// cold-path cost at most once per distinct target. Per-item failures land in
-// the item's BatchResult; the batch itself never fails. Cancellation marks
-// every remaining item with the translated context error.
+// pair even if writers land mid-batch, and all items share the snapshot's
+// warm threshold and evaluator caches, so a batch of N solves pays the
+// cold-path cost at most once per distinct target. Items run on a bounded
+// worker pool (SetBatchParallelism; default GOMAXPROCS) with results
+// delivered in item order regardless of completion order. Per-item failures
+// land in the item's BatchResult; the batch itself never fails. Cancellation
+// marks every not-yet-started item with the translated context error.
 func (s *System) SolveBatchCtx(ctx context.Context, items []BatchItem) []BatchResult {
 	st := s.view()
 	out := make([]BatchResult, len(items))
-	for i, it := range items {
-		if err := core.CtxErr(ctx); err != nil {
-			out[i] = BatchResult{Err: err}
-			continue
-		}
-		switch {
-		case it.MinCost != nil && it.MaxHit == nil:
-			r, err := core.MinCostIQCtx(ctx, st.idx, *it.MinCost)
-			out[i] = BatchResult{Result: r, Err: err}
-		case it.MaxHit != nil && it.MinCost == nil:
-			r, err := core.MaxHitIQCtx(ctx, st.idx, *it.MaxHit)
-			out[i] = BatchResult{Result: r, Err: err}
-		default:
-			out[i] = BatchResult{Err: fmt.Errorf("iq: batch item %d must set exactly one of MinCost or MaxHit", i)}
-		}
+	workers := int(batchParallelism.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = st.solveBatchItem(ctx, i, it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			// Strided assignment: worker k owns items k, k+workers, … Writes
+			// go to disjoint slots, so no coordination is needed and the
+			// output order is the input order.
+			for i := k; i < len(items); i += workers {
+				out[i] = st.solveBatchItem(ctx, i, items[i])
+			}
+		}(k)
+	}
+	wg.Wait()
 	return out
+}
+
+// solveBatchItem answers one batch item against this epoch snapshot.
+func (st *state) solveBatchItem(ctx context.Context, i int, it BatchItem) BatchResult {
+	if err := core.CtxErr(ctx); err != nil {
+		return BatchResult{Err: err}
+	}
+	switch {
+	case it.MinCost != nil && it.MaxHit == nil:
+		r, err := st.solveMinCost(ctx, *it.MinCost)
+		return BatchResult{Result: r, Err: err}
+	case it.MaxHit != nil && it.MinCost == nil:
+		r, err := st.solveMaxHit(ctx, *it.MaxHit)
+		return BatchResult{Result: r, Err: err}
+	default:
+		return BatchResult{Err: fmt.Errorf("iq: batch item %d must set exactly one of MinCost or MaxHit", i)}
+	}
 }
 
 // MinCostMulti answers a combinatorial Min-Cost IQ over several targets
@@ -510,9 +574,15 @@ func (s *System) MinCostMulti(specs []TargetSpec, tau int) (*MultiResult, error)
 }
 
 // MinCostMultiCtx is MinCostMulti under a context; cancellation semantics
-// match MinCostCtx.
+// match MinCostCtx. The combinatorial solvers are not sharded (their subset
+// enumeration is only feasible for tiny inputs anyway); on a sharded System
+// they return an error.
 func (s *System) MinCostMultiCtx(ctx context.Context, specs []TargetSpec, tau int) (*MultiResult, error) {
-	return core.CombinatorialMinCostIQCtx(ctx, s.view().idx, specs, tau)
+	st := s.view()
+	if st.sh != nil {
+		return nil, errSharded("MinCostMulti")
+	}
+	return core.CombinatorialMinCostIQCtx(ctx, st.idx, specs, tau)
 }
 
 // MaxHitMulti answers a combinatorial Max-Hit IQ over several targets.
@@ -521,9 +591,13 @@ func (s *System) MaxHitMulti(specs []TargetSpec, budget float64) (*MultiResult, 
 }
 
 // MaxHitMultiCtx is MaxHitMulti under a context; cancellation semantics
-// match MinCostCtx.
+// match MinCostCtx. Unsupported on a sharded System, like MinCostMultiCtx.
 func (s *System) MaxHitMultiCtx(ctx context.Context, specs []TargetSpec, budget float64) (*MultiResult, error) {
-	return core.CombinatorialMaxHitIQCtx(ctx, s.view().idx, specs, budget)
+	st := s.view()
+	if st.sh != nil {
+		return nil, errSharded("MaxHitMulti")
+	}
+	return core.CombinatorialMaxHitIQCtx(ctx, st.idx, specs, budget)
 }
 
 // MinCostExhaustive runs the optimal (exponential-time) solver; only
@@ -536,7 +610,11 @@ func (s *System) MinCostExhaustive(req MinCostRequest) (*Result, error) {
 // enumeration aborts when ctx fails. The exponential solver is where a
 // deadline matters most.
 func (s *System) MinCostExhaustiveCtx(ctx context.Context, req MinCostRequest) (*Result, error) {
-	return core.ExhaustiveMinCostCtx(ctx, s.view().idx, req)
+	st := s.view()
+	if st.sh != nil {
+		return nil, errSharded("MinCostExhaustive")
+	}
+	return core.ExhaustiveMinCostCtx(ctx, st.idx, req)
 }
 
 // MaxHitExhaustive runs the optimal Max-Hit solver for tiny inputs.
@@ -547,7 +625,11 @@ func (s *System) MaxHitExhaustive(req MaxHitRequest) (*Result, error) {
 // MaxHitExhaustiveCtx is MaxHitExhaustive under a context; cancellation
 // semantics match MinCostExhaustiveCtx.
 func (s *System) MaxHitExhaustiveCtx(ctx context.Context, req MaxHitRequest) (*Result, error) {
-	return core.ExhaustiveMaxHitCtx(ctx, s.view().idx, req)
+	st := s.view()
+	if st.sh != nil {
+		return nil, errSharded("MaxHitExhaustive")
+	}
+	return core.ExhaustiveMaxHitCtx(ctx, st.idx, req)
 }
 
 // Hits returns H(p), the number of queries object target currently hits.
@@ -560,12 +642,7 @@ func (s *System) Hits(target int) (int, error) {
 // cross-solve cache, so repeat hit counts against an unchanged epoch skip
 // the build entirely.
 func (s *System) HitsCtx(ctx context.Context, target int) (int, error) {
-	pool, release, err := core.AcquireEvaluators(ctx, s.view().idx, target, 1)
-	if err != nil {
-		return 0, err
-	}
-	defer release()
-	return pool[0].BaseHits(), nil
+	return s.view().baseHitsCtx(ctx, target)
 }
 
 // Evaluate answers a plain top-k query against the dataset.
@@ -601,15 +678,24 @@ func (s *System) EvaluateStrategyCtx(ctx context.Context, target int, strategy V
 	if err := core.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	pool, release, err := core.AcquireEvaluators(ctx, st.idx, target, 1)
-	if err != nil {
-		return 0, err
+	total := 0
+	for _, idx := range st.indexes() {
+		pool, release, err := core.AcquireEvaluators(ctx, idx, target, 1)
+		if err != nil {
+			return 0, err
+		}
+		if err := core.CtxErr(ctx); err != nil {
+			release()
+			return 0, err
+		}
+		h, err := pool[0].Hits(strategy)
+		release()
+		if err != nil {
+			return 0, err
+		}
+		total += h
 	}
-	defer release()
-	if err := core.CtxErr(ctx); err != nil {
-		return 0, err
-	}
-	return pool[0].Hits(strategy)
+	return total, nil
 }
 
 // checkStrategy validates a (target, strategy) pair against a workload so
@@ -635,6 +721,10 @@ func (s *System) Commit(target int, strategy Vector) error {
 // record spans when the context carries a trace.
 func (s *System) CommitCtx(ctx context.Context, target int, strategy Vector) error {
 	muts := []Mutation{{Commit: &CommitMutation{Target: target, Strategy: strategy}}}
+	if s.view().sh != nil {
+		_, err := s.mutateShardedCtx(ctx, muts, false, nil)
+		return err
+	}
 	return s.mutateCtx(ctx, muts, func(st *state) error {
 		if err := checkStrategy(st.w, target, strategy); err != nil {
 			return err
@@ -654,6 +744,14 @@ func (s *System) CommitAndCount(target int, strategy Vector) (int, error) {
 func (s *System) CommitAndCountCtx(ctx context.Context, target int, strategy Vector) (int, error) {
 	hits := 0
 	muts := []Mutation{{Commit: &CommitMutation{Target: target, Strategy: strategy}}}
+	if s.view().sh != nil {
+		_, err := s.mutateShardedCtx(ctx, muts, false, func(st *state) error {
+			var err error
+			hits, err = shardedBaseHits(ctx, st, target)
+			return err
+		})
+		return hits, err
+	}
 	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		if err := checkStrategy(st.w, target, strategy); err != nil {
 			return err
@@ -681,6 +779,13 @@ func (s *System) AddObject(attrs Vector) (int, error) {
 func (s *System) AddObjectCtx(ctx context.Context, attrs Vector) (int, error) {
 	id := 0
 	muts := []Mutation{{AddObject: &AddObjectMutation{Attrs: attrs}}}
+	if s.view().sh != nil {
+		res, err := s.mutateShardedCtx(ctx, muts, false, nil)
+		if err != nil {
+			return 0, err
+		}
+		return res[0].ID, nil
+	}
 	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		var err error
 		id, err = st.idx.AddObjectCtx(ctx, attrs)
@@ -698,6 +803,10 @@ func (s *System) RemoveObject(id int) error {
 // CommitCtx.
 func (s *System) RemoveObjectCtx(ctx context.Context, id int) error {
 	muts := []Mutation{{RemoveObject: &RemoveObjectMutation{ID: id}}}
+	if s.view().sh != nil {
+		_, err := s.mutateShardedCtx(ctx, muts, false, nil)
+		return err
+	}
 	return s.mutateCtx(ctx, muts, func(st *state) error { return st.idx.RemoveObjectCtx(ctx, id) })
 }
 
@@ -711,6 +820,13 @@ func (s *System) AddQuery(q Query) (int, error) {
 func (s *System) AddQueryCtx(ctx context.Context, q Query) (int, error) {
 	j := 0
 	muts := []Mutation{{AddQuery: &AddQueryMutation{Query: q}}}
+	if s.view().sh != nil {
+		res, err := s.mutateShardedCtx(ctx, muts, false, nil)
+		if err != nil {
+			return 0, err
+		}
+		return res[0].ID, nil
+	}
 	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		var err error
 		j, err = st.idx.AddQueryCtx(ctx, q)
@@ -728,6 +844,10 @@ func (s *System) RemoveQuery(j int) error {
 // CommitCtx.
 func (s *System) RemoveQueryCtx(ctx context.Context, j int) error {
 	muts := []Mutation{{RemoveQuery: &RemoveQueryMutation{Index: j}}}
+	if s.view().sh != nil {
+		_, err := s.mutateShardedCtx(ctx, muts, false, nil)
+		return err
+	}
 	return s.mutateCtx(ctx, muts, func(st *state) error { return st.idx.RemoveQueryCtx(ctx, j) })
 }
 
@@ -792,6 +912,9 @@ func (s *System) ApplyBatchCtx(ctx context.Context, muts []Mutation) ([]Mutation
 	if len(muts) == 0 {
 		return nil, nil
 	}
+	if s.view().sh != nil {
+		return s.mutateShardedCtx(ctx, muts, true, nil)
+	}
 	results := make([]MutationResult, len(muts))
 	err := s.mutateCtx(ctx, muts, func(st *state) error {
 		st.idx.BeginBatch()
@@ -816,24 +939,8 @@ func (s *System) ApplyBatchCtx(ctx context.Context, muts []Mutation) ([]Mutation
 
 // applyMutation dispatches one batch operation against the private clone.
 func applyMutation(ctx context.Context, st *state, m Mutation) (int, error) {
-	set := 0
-	if m.Commit != nil {
-		set++
-	}
-	if m.AddObject != nil {
-		set++
-	}
-	if m.RemoveObject != nil {
-		set++
-	}
-	if m.AddQuery != nil {
-		set++
-	}
-	if m.RemoveQuery != nil {
-		set++
-	}
-	if set != 1 {
-		return -1, fmt.Errorf("exactly one operation must be set, got %d", set)
+	if n := countMutationOps(m); n != 1 {
+		return -1, fmt.Errorf("exactly one operation must be set, got %d", n)
 	}
 	switch {
 	case m.Commit != nil:
@@ -862,8 +969,15 @@ func (s *System) NumQueries() int { return s.view().w.NumQueries() }
 // Attrs returns a copy of an object's current attributes.
 func (s *System) Attrs(id int) Vector { return vec.Clone(s.view().w.Attrs(id)) }
 
-// IndexStats reports the subdomain index footprint.
-func (s *System) IndexStats() IndexStats { return s.view().idx.Stats() }
+// IndexStats reports the subdomain index footprint; on a sharded System the
+// per-shard footprints are summed.
+func (s *System) IndexStats() IndexStats {
+	st := s.view()
+	if st.sh != nil {
+		return st.sh.Stats()
+	}
+	return st.idx.Stats()
+}
 
 // Internal accessors for the benchmark harness and tools.
 
@@ -875,5 +989,7 @@ func (s *System) Workload() *topk.Workload { return s.view().w }
 
 // Index exposes the current epoch's subdomain index (immutable, like
 // Workload). Callers needing a consistent workload/index pair should use
-// Index().Workload() rather than two separate System calls.
+// Index().Workload() rather than two separate System calls. On a sharded
+// System there is no single index and Index returns nil; use ShardInfos and
+// IndexStats instead.
 func (s *System) Index() *subdomain.Index { return s.view().idx }

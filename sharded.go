@@ -1,0 +1,388 @@
+package iq
+
+// Sharded-engine half of the System facade. With IndexOptions.Shards > 1 the
+// query workload is partitioned by query-space position into N shard indexes
+// (internal/shard); solves run through the scatter-gather coordinator in
+// internal/core and mutations through the sharded commit protocol below.
+// Both are bit-identical to the unsharded engine: same results, same errors,
+// same epochs — sharding only changes how the work is laid out.
+
+import (
+	"context"
+	"fmt"
+
+	"iq/internal/core"
+	"iq/internal/ese"
+	"iq/internal/obs/workload"
+	"iq/internal/shard"
+	"iq/internal/subdomain"
+	"iq/internal/topk"
+	"iq/internal/vec"
+)
+
+// newShardedSystem partitions w across opts.Shards shard indexes and wraps
+// them in a System. The global workload stays alongside the shards as the
+// source of truth for query/object numbering, Evaluate, and snapshots.
+func newShardedSystem(ctx context.Context, w *topk.Workload, opts IndexOptions) (*System, error) {
+	set, err := shard.Build(ctx, w, buildShardPlan(w, opts.Shards), opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{}
+	s.cur.Store(&state{w: w, sh: set, opts: opts})
+	shard.Publish(set)
+	return s, nil
+}
+
+// buildShardPlan picks the region→shard routing plan: the workload advisor's
+// proposal when analytics are on and have data, else deterministic k-quantile
+// cuts over the live query positions. Correctness never depends on the plan —
+// results are bit-identical under any routing — only balance does, so ambient
+// analytics state cannot change answers.
+func buildShardPlan(w *topk.Workload, k int) shard.Plan {
+	if workload.Enabled() {
+		if plan, ok := shard.PlanFromProposal(workload.Default.Snapshot().Advise(k), k); ok {
+			return plan
+		}
+	}
+	positions := make([]float64, 0, w.NumQueries())
+	for j := 0; j < w.NumQueries(); j++ {
+		if w.IsQueryRemoved(j) {
+			continue
+		}
+		positions = append(positions, shard.QueryPos(w.Query(j)))
+	}
+	return shard.PlanFromPositions(positions, k)
+}
+
+// solveMinCost dispatches one Min-Cost solve against this epoch snapshot.
+func (st *state) solveMinCost(ctx context.Context, req MinCostRequest) (*Result, error) {
+	if st.sh != nil {
+		return core.ShardedMinCostIQCtx(ctx, st.sh.Views(), req)
+	}
+	return core.MinCostIQCtx(ctx, st.idx, req)
+}
+
+// solveMaxHit dispatches one Max-Hit solve against this epoch snapshot.
+func (st *state) solveMaxHit(ctx context.Context, req MaxHitRequest) (*Result, error) {
+	if st.sh != nil {
+		return core.ShardedMaxHitIQCtx(ctx, st.sh.Views(), req)
+	}
+	return core.MaxHitIQCtx(ctx, st.idx, req)
+}
+
+// baseHitsCtx counts the target's current hits on this snapshot (the Hits
+// read path): one evaluator per shard, summed — every query is owned by
+// exactly one shard, so the sum equals the monolithic count.
+func (st *state) baseHitsCtx(ctx context.Context, target int) (int, error) {
+	total := 0
+	for _, idx := range st.indexes() {
+		pool, release, err := core.AcquireEvaluators(ctx, idx, target, 1)
+		if err != nil {
+			return 0, err
+		}
+		total += pool[0].BaseHits()
+		release()
+	}
+	return total, nil
+}
+
+// indexes returns the snapshot's subdomain indexes: the single monolithic
+// index, or one per shard.
+func (st *state) indexes() []*subdomain.Index {
+	if st.sh == nil {
+		return []*subdomain.Index{st.idx}
+	}
+	out := make([]*subdomain.Index, len(st.sh.Shards))
+	for t, sh := range st.sh.Shards {
+		out[t] = sh.Idx
+	}
+	return out
+}
+
+// mutateShardedCtx is the sharded twin of mutateCtx: the coordinator-side
+// commit protocol. Under the writer lock it clones the global workload plus
+// ONLY the shards the batch touches (the rest share published pointers, so
+// their epochs, caches, and evaluators stay warm), applies every mutation
+// shard-first (validation errors surface with the exact monolithic messages)
+// while mirroring it into the global workload, then publishes all affected
+// shard epochs in one atomic store. WAL logging, cache migration, region
+// retirement, and churn attribution run per affected shard, in shard order,
+// before the publish — exactly the monolithic protocol, fanned out.
+//
+// post, when non-nil, runs against the fully mutated clone before the
+// durability hook (CommitAndCount's read-back). batch selects the
+// ApplyBatch semantics: per-shard deferred repartition plus per-mutation
+// cancellation checkpoints and error wrapping.
+func (s *System) mutateShardedCtx(ctx context.Context, muts []Mutation, batch bool, post func(st *state) error) ([]MutationResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	affected := shardsAffected(old.sh, muts)
+	next := &state{
+		w:     old.w.Clone(),
+		sh:    old.sh.CloneFor(ctx, affected),
+		opts:  old.opts,
+		epoch: old.epoch + 1,
+	}
+	if batch {
+		for t, hit := range affected {
+			if hit {
+				next.sh.Shards[t].Idx.BeginBatch()
+			}
+		}
+	}
+	results := make([]MutationResult, len(muts))
+	for i, m := range muts {
+		if batch {
+			if err := core.MutationCheckpoint(ctx, i); err != nil {
+				return nil, err
+			}
+		}
+		id, err := applyShardedMutation(ctx, next, m)
+		if err != nil {
+			if batch {
+				return nil, fmt.Errorf("iq: batch mutation %d: %w", i, err)
+			}
+			return nil, err
+		}
+		results[i] = MutationResult{ID: id}
+	}
+	if batch {
+		for t, hit := range affected {
+			if hit {
+				next.sh.Shards[t].Idx.EndBatchCtx(ctx)
+			}
+		}
+	}
+	if post != nil {
+		if err := post(next); err != nil {
+			return nil, err
+		}
+	}
+	if err := core.MutationCheckpoint(ctx, -1); err != nil {
+		return nil, err
+	}
+	if s.dur != nil && len(muts) > 0 {
+		if err := s.dur.logTxn(ctx, next.epoch, muts); err != nil {
+			return nil, err
+		}
+	}
+	for t, hit := range affected {
+		if !hit {
+			continue
+		}
+		idx := next.sh.Shards[t].Idx
+		ds := idx.TakeDirty()
+		core.MigrateSolveCaches(old.sh.Shards[t].Idx, idx, ds)
+		if resets := idx.TakeRegionResets(); len(resets) > 0 {
+			workload.Default.RetireRegions(resets)
+		}
+		recordCommitChurn(idx, ds)
+	}
+	shard.Publish(next.sh)
+	shard.RecordMutations(affected)
+	s.cur.Store(next)
+	return results, nil
+}
+
+// shardsAffected computes which shards a mutation batch touches, so CloneFor
+// clones only those. Object operations touch every shard (all shards hold
+// the full object table); query operations touch the owning shard. Query
+// additions are simulated in order so a later RemoveQuery of a query added
+// earlier in the same batch resolves to the right shard; an out-of-range
+// index affects nothing — the mutation fails during application.
+func shardsAffected(set *shard.Set, muts []Mutation) []bool {
+	affected := make([]bool, len(set.Shards))
+	var added []int // owning shard per query appended by this batch
+	for _, m := range muts {
+		switch {
+		case m.Commit != nil, m.AddObject != nil, m.RemoveObject != nil:
+			for t := range affected {
+				affected[t] = true
+			}
+		case m.AddQuery != nil:
+			t := set.Plan.Route(shard.QueryPos(m.AddQuery.Query))
+			affected[t] = true
+			added = append(added, t)
+		case m.RemoveQuery != nil:
+			j := m.RemoveQuery.Index
+			switch {
+			case j >= 0 && j < len(set.Owner):
+				affected[set.Owner[j].Shard] = true
+			case j >= len(set.Owner) && j < len(set.Owner)+len(added):
+				affected[added[j-len(set.Owner)]] = true
+			}
+		}
+	}
+	return affected
+}
+
+// applyShardedMutation applies one mutation to the private clone: shard
+// indexes first (their validation produces the same errors, with global
+// object indexes, as the monolithic index), then the global workload, which
+// never fails once the shards accepted. Returns the assigned global index
+// for AddObject/AddQuery and -1 otherwise.
+func applyShardedMutation(ctx context.Context, next *state, m Mutation) (int, error) {
+	if n := countMutationOps(m); n != 1 {
+		return -1, fmt.Errorf("exactly one operation must be set, got %d", n)
+	}
+	sh := next.sh
+	switch {
+	case m.Commit != nil:
+		if err := checkStrategy(next.w, m.Commit.Target, m.Commit.Strategy); err != nil {
+			return -1, err
+		}
+		attrs := vec.Add(next.w.Attrs(m.Commit.Target), m.Commit.Strategy)
+		for _, shd := range sh.Shards {
+			if err := shd.Idx.UpdateObjectCtx(ctx, m.Commit.Target, attrs); err != nil {
+				return -1, err
+			}
+		}
+		return -1, next.w.UpdateObject(m.Commit.Target, attrs)
+	case m.AddObject != nil:
+		for _, shd := range sh.Shards {
+			if _, err := shd.Idx.AddObjectCtx(ctx, m.AddObject.Attrs); err != nil {
+				return -1, err
+			}
+		}
+		return next.w.AddObject(m.AddObject.Attrs)
+	case m.RemoveObject != nil:
+		for _, shd := range sh.Shards {
+			if err := shd.Idx.RemoveObjectCtx(ctx, m.RemoveObject.ID); err != nil {
+				return -1, err
+			}
+		}
+		next.w.RemoveObject(m.RemoveObject.ID)
+		return -1, nil
+	case m.AddQuery != nil:
+		t := sh.Plan.Route(shard.QueryPos(m.AddQuery.Query))
+		lj, err := sh.Shards[t].Idx.AddQueryCtx(ctx, m.AddQuery.Query)
+		if err != nil {
+			return -1, err
+		}
+		gj, err := next.w.AddQuery(m.AddQuery.Query)
+		if err != nil {
+			return -1, err
+		}
+		sh.Shards[t].GlobalQ = append(sh.Shards[t].GlobalQ, gj)
+		sh.Owner = append(sh.Owner, shard.Loc{Shard: t, Local: lj})
+		return gj, nil
+	default:
+		// The owning shard would report its LOCAL index; rewrite the
+		// out-of-range/tombstone check against the global numbering so the
+		// error matches the monolithic message verbatim.
+		j := m.RemoveQuery.Index
+		if j < 0 || j >= next.w.NumQueries() || next.w.IsQueryRemoved(j) {
+			return -1, fmt.Errorf("subdomain: query %d not indexed", j)
+		}
+		loc := sh.Owner[j]
+		if err := sh.Shards[loc.Shard].Idx.RemoveQueryCtx(ctx, loc.Local); err != nil {
+			return -1, err
+		}
+		next.w.RemoveQuery(j)
+		return -1, nil
+	}
+}
+
+// countMutationOps counts how many operation fields a Mutation sets; valid
+// mutations set exactly one.
+func countMutationOps(m Mutation) int {
+	n := 0
+	if m.Commit != nil {
+		n++
+	}
+	if m.AddObject != nil {
+		n++
+	}
+	if m.RemoveObject != nil {
+		n++
+	}
+	if m.AddQuery != nil {
+		n++
+	}
+	if m.RemoveQuery != nil {
+		n++
+	}
+	return n
+}
+
+// shardedBaseHits is CommitAndCount's read-back on the mutated clone: the
+// target's hit count summed across the shards' fresh evaluators.
+func shardedBaseHits(ctx context.Context, st *state, target int) (int, error) {
+	total := 0
+	for _, shd := range st.sh.Shards {
+		ev, err := ese.NewCtx(ctx, shd.Idx, target)
+		if err != nil {
+			return 0, err
+		}
+		total += ev.BaseHits()
+	}
+	return total, nil
+}
+
+// Shards returns the engine's shard count: 1 for the monolithic engine,
+// Options.Shards for a sharded one.
+func (s *System) Shards() int {
+	if sh := s.view().sh; sh != nil {
+		return len(sh.Shards)
+	}
+	return 1
+}
+
+// ShardInfo describes one shard of a sharded System for stats surfaces.
+type ShardInfo struct {
+	// Shard is the shard ordinal (also the metric label value).
+	Shard int `json:"shard"`
+	// Epoch is the shard index's own mutation count; unaffected shards keep
+	// their epoch across commits.
+	Epoch uint64 `json:"epoch"`
+	// Queries counts the live (non-tombstoned) queries the shard owns.
+	Queries int `json:"queries"`
+	// Subdomains is the shard index's subdomain count.
+	Subdomains int `json:"subdomains"`
+}
+
+// ShardInfos reports the per-shard layout, nil for an unsharded System.
+func (s *System) ShardInfos() []ShardInfo {
+	sh := s.view().sh
+	if sh == nil {
+		return nil
+	}
+	out := make([]ShardInfo, len(sh.Shards))
+	for t, shd := range sh.Shards {
+		out[t] = ShardInfo{
+			Shard:      t,
+			Epoch:      shd.Idx.Epoch(),
+			Queries:    sh.LiveQueries(t),
+			Subdomains: shd.Idx.NumSubdomains(),
+		}
+	}
+	return out
+}
+
+// ShardPlan returns the routing plan's cut positions (len = shards-1), nil
+// for an unsharded System.
+func (s *System) ShardPlan() []float64 {
+	sh := s.view().sh
+	if sh == nil {
+		return nil
+	}
+	return append([]float64(nil), sh.Plan.Cuts...)
+}
+
+// RouteQueryPos returns the shard that owns a query at the given first-axis
+// position (always 0 for an unsharded System).
+func (s *System) RouteQueryPos(pos float64) int {
+	sh := s.view().sh
+	if sh == nil {
+		return 0
+	}
+	return sh.Plan.Route(pos)
+}
+
+// errSharded builds the error returned by solver surfaces the sharded engine
+// does not support.
+func errSharded(op string) error {
+	return fmt.Errorf("iq: %s is unsupported with Shards > 1 (solve against an unsharded System)", op)
+}

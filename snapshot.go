@@ -1,6 +1,7 @@
 package iq
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -130,7 +131,7 @@ func saveState(st *state, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	snap := snapshot{Version: snapshotVersion, Epoch: st.epoch, Space: spec}
+	snap := snapshot{Version: snapshotVersion, Epoch: st.epoch, Space: spec, Options: st.opts}
 	n := st.w.NumObjects()
 	snap.Objects = make([]vec.Vector, n)
 	snap.Removed = make([]bool, n)
@@ -310,6 +311,22 @@ func buildFromSnapshot(snap snapshot) (*System, error) {
 			w.RemoveObject(i)
 		}
 	}
+	if snap.Options.Shards > 1 {
+		// Sharded rebuild: tombstone the workload first so the shard builder
+		// partitions with the saved liveness (it replays both tombstone kinds
+		// into every shard index itself), then restore the saved epoch.
+		for j, removed := range snap.QueryRemoved {
+			if removed {
+				w.RemoveQuery(j)
+			}
+		}
+		s, err := newShardedSystem(context.Background(), w, snap.Options)
+		if err != nil {
+			return nil, err
+		}
+		s.cur.Load().epoch = snap.Epoch
+		return s, nil
+	}
 	idx, err := buildIndex(w, snap.Options)
 	if err != nil {
 		return nil, err
@@ -328,7 +345,7 @@ func buildFromSnapshot(snap snapshot) (*System, error) {
 	// brand-new, so there are no cache entries to migrate, and the first real
 	// mutation's dirty set must describe only that mutation.
 	idx.TakeDirty()
-	s := newSystem(w, idx)
+	s := newSystem(w, idx, snap.Options)
 	s.cur.Load().epoch = snap.Epoch
 	return s, nil
 }
